@@ -1,0 +1,266 @@
+//! CAT: a Counter-Adaptive-Tree-style tracker (Seyedzadeh et al., ISCA 2018).
+//!
+//! A binary tree of counters over the row-address space. Each leaf counts
+//! activations for a *range* of rows; when a leaf's count crosses the split
+//! threshold and spare counters remain, the leaf splits so hot regions get
+//! progressively finer counters, ultimately one counter per hot row. A
+//! single-row leaf reaching the mitigation threshold triggers mitigation.
+//!
+//! Counting is conservative (a range count upper-bounds every row in the
+//! range), so mitigations can fire early but never late — as long as the
+//! counter budget suffices, which is exactly the storage-vs-threshold
+//! tradeoff Table 1 quantifies.
+
+use hydra_types::error::ConfigError;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Row range [start, end) covered by this node.
+    start: u32,
+    end: u32,
+    count: u32,
+    /// Children indices if split.
+    children: Option<(usize, usize)>,
+}
+
+/// A CAT-style adaptive counter tree over rows `[0, rows)` of one bank.
+///
+/// # Example
+///
+/// ```
+/// use hydra_baselines::CounterTree;
+/// let mut cat = CounterTree::new(1024, 64, 16, 8)?;
+/// let mut mitigations = 0;
+/// for _ in 0..64 {
+///     if cat.on_activation(7).is_some() { mitigations += 1; }
+/// }
+/// assert!(mitigations >= 4); // at least every 16 ACTs (may fire early)
+/// # Ok::<(), hydra_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterTree {
+    nodes: Vec<Node>,
+    budget: usize,
+    threshold: u32,
+    split_threshold: u32,
+    mitigations: u64,
+    splits: u64,
+}
+
+impl CounterTree {
+    /// Creates a tree over `rows` rows with a budget of `budget` counters,
+    /// mitigating single-row leaves at `threshold` and splitting leaves at
+    /// `split_threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero parameters or
+    /// `split_threshold >= threshold`.
+    pub fn new(
+        rows: u32,
+        budget: usize,
+        threshold: u32,
+        split_threshold: u32,
+    ) -> Result<Self, ConfigError> {
+        if rows == 0 || budget == 0 || threshold == 0 {
+            return Err(ConfigError::new("rows, budget and threshold must be nonzero"));
+        }
+        if split_threshold >= threshold {
+            return Err(ConfigError::new(
+                "split threshold must be below the mitigation threshold",
+            ));
+        }
+        Ok(CounterTree {
+            nodes: vec![Node {
+                start: 0,
+                end: rows,
+                count: 0,
+                children: None,
+            }],
+            budget,
+            threshold,
+            split_threshold,
+            mitigations: 0,
+            splits: 0,
+        })
+    }
+
+    /// Records an activation of `row`; returns the mitigated row range
+    /// `[start, end)` if a mitigation fires. The covering leaf's count
+    /// resets, so the caller must treat *every* row in the range as
+    /// mitigated (CAT's counts are aggregates: mitigating only the
+    /// activated row would leave the rest of the range untracked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the tree's range.
+    pub fn on_activation(&mut self, row: u32) -> Option<(u32, u32)> {
+        assert!(row < self.nodes[0].end, "row {row} out of range");
+        // Walk to the covering leaf.
+        let mut idx = 0usize;
+        while let Some((l, r)) = self.nodes[idx].children {
+            idx = if row < self.nodes[l].end { l } else { r };
+        }
+        self.nodes[idx].count += 1;
+
+        let node = &self.nodes[idx];
+        let is_single = node.end - node.start == 1;
+        if node.count >= self.threshold {
+            let range = (node.start, node.end);
+            self.nodes[idx].count = 0;
+            self.mitigations += 1;
+            return Some(range);
+        }
+        if !is_single && node.count >= self.split_threshold && self.nodes.len() + 2 <= self.budget
+        {
+            self.split(idx);
+        }
+        None
+    }
+
+    fn split(&mut self, idx: usize) {
+        let (start, end, count) = {
+            let n = &self.nodes[idx];
+            (n.start, n.end, n.count)
+        };
+        let mid = start + (end - start) / 2;
+        // Children inherit the parent's count: conservative (each row's
+        // estimate never decreases).
+        let l = self.nodes.len();
+        self.nodes.push(Node {
+            start,
+            end: mid,
+            count,
+            children: None,
+        });
+        let r = self.nodes.len();
+        self.nodes.push(Node {
+            start: mid,
+            end,
+            count,
+            children: None,
+        });
+        self.nodes[idx].children = Some((l, r));
+        self.splits += 1;
+    }
+
+    /// The current estimate for a row (its covering leaf's count).
+    pub fn estimate(&self, row: u32) -> u32 {
+        let mut idx = 0usize;
+        while let Some((l, r)) = self.nodes[idx].children {
+            idx = if row < self.nodes[l].end { l } else { r };
+        }
+        self.nodes[idx].count
+    }
+
+    /// Counters allocated so far.
+    pub fn counters_used(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Splits performed.
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Mitigations fired.
+    pub fn mitigations(&self) -> u64 {
+        self.mitigations
+    }
+
+    /// Resets to a single root counter (window reset).
+    pub fn reset(&mut self) {
+        let rows = self.nodes[0].end;
+        self.nodes.clear();
+        self.nodes.push(Node {
+            start: 0,
+            end: rows,
+            count: 0,
+            children: None,
+        });
+        self.splits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hot_row_gets_dedicated_counter() {
+        let mut cat = CounterTree::new(1024, 64, 100, 10).unwrap();
+        for _ in 0..60 {
+            cat.on_activation(42);
+        }
+        // After enough splits, row 42's leaf should be narrow.
+        assert!(cat.splits() > 0);
+        assert!(cat.counters_used() > 1);
+    }
+
+    #[test]
+    fn estimate_never_undercounts() {
+        let mut cat = CounterTree::new(256, 32, 1000, 8).unwrap();
+        let mut exact: HashMap<u32, u32> = HashMap::new();
+        let stream: Vec<u32> = (0..500).map(|i| (i * 37) % 97).collect();
+        for row in stream {
+            *exact.entry(row).or_insert(0) += 1;
+            cat.on_activation(row);
+            for (&r, &true_count) in &exact {
+                assert!(
+                    cat.estimate(r) >= true_count,
+                    "estimate({r}) = {} < {true_count}",
+                    cat.estimate(r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mitigation_never_late() {
+        let mut cat = CounterTree::new(1024, 16, 50, 10).unwrap();
+        let mut since = 0u32;
+        for i in 0..5000 {
+            since += 1;
+            if let Some((start, end)) = cat.on_activation(7) {
+                assert!((start..end).contains(&7));
+                since = 0;
+            }
+            assert!(since <= 50, "late mitigation at {i}");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_mitigates_ranges_conservatively() {
+        // Budget of 1: the root can never split; it must mitigate whenever
+        // the aggregate hits the threshold, even for scattered traffic.
+        let mut cat = CounterTree::new(1024, 1, 10, 5).unwrap();
+        let mut mitigations = 0;
+        for i in 0..100u32 {
+            if let Some((start, end)) = cat.on_activation(i % 64) {
+                assert_eq!((start, end), (0, 1024), "root leaf covers everything");
+                mitigations += 1;
+            }
+        }
+        assert_eq!(mitigations, 10);
+        assert_eq!(cat.counters_used(), 1);
+    }
+
+    #[test]
+    fn reset_restores_single_root() {
+        let mut cat = CounterTree::new(1024, 64, 100, 5).unwrap();
+        for _ in 0..50 {
+            cat.on_activation(1);
+        }
+        cat.reset();
+        assert_eq!(cat.counters_used(), 1);
+        assert_eq!(cat.estimate(1), 0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(CounterTree::new(0, 8, 10, 5).is_err());
+        assert!(CounterTree::new(8, 0, 10, 5).is_err());
+        assert!(CounterTree::new(8, 8, 10, 10).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! D-CBF: dual time-shifted counting Bloom filters (BlockHammer, HPCA 2021).
+//!
+//! Two counting Bloom filters with three hash functions each observe row
+//! activations. The filters alternate epochs: each filter is cleared every
+//! other half-window, so at any instant one filter has observed at least the
+//! last half-window of history. A row is *blacklisted* when the minimum of
+//! its three counters in the active filter reaches the blacklist threshold.
+//!
+//! A blacklisted row stays blacklisted until the filter holding it resets —
+//! per-row state cannot be cleared — which is why D-CBF supports only
+//! rate-control (delay) mitigation, not victim refresh (Sec. 7.1). The
+//! blacklist can also false-positive on innocent rows (aliasing), which is
+//! why D-CBF must be sized generously (Sec. 2.4).
+
+use hydra_types::addr::RowAddr;
+use hydra_types::clock::MemCycle;
+use hydra_types::error::ConfigError;
+
+fn hash(row: RowAddr, salt: u64) -> u64 {
+    let v = (u64::from(row.row) << 24)
+        ^ (u64::from(row.bank) << 16)
+        ^ (u64::from(row.rank) << 8)
+        ^ u64::from(row.channel);
+    let mut x = v ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[derive(Debug, Clone)]
+struct CountingBloom {
+    counters: Vec<u32>,
+    salts: [u64; 3],
+}
+
+impl CountingBloom {
+    fn new(counters: usize, generation: u64) -> Self {
+        CountingBloom {
+            counters: vec![0; counters],
+            salts: [
+                generation.wrapping_mul(3) + 1,
+                generation.wrapping_mul(3) + 2,
+                generation.wrapping_mul(3) + 3,
+            ],
+        }
+    }
+
+    fn insert(&mut self, row: RowAddr) {
+        let n = self.counters.len() as u64;
+        for salt in self.salts {
+            let idx = (hash(row, salt) % n) as usize;
+            self.counters[idx] = self.counters[idx].saturating_add(1);
+        }
+    }
+
+    /// Minimum counter over the three hash positions — an upper bound on the
+    /// row's true activation count.
+    fn estimate(&self, row: RowAddr) -> u32 {
+        let n = self.counters.len() as u64;
+        self.salts
+            .iter()
+            .map(|&salt| self.counters[(hash(row, salt) % n) as usize])
+            .min()
+            .expect("three salts")
+    }
+
+    fn clear(&mut self, generation: u64) {
+        self.counters.fill(0);
+        self.salts = [
+            generation.wrapping_mul(3) + 1,
+            generation.wrapping_mul(3) + 2,
+            generation.wrapping_mul(3) + 3,
+        ];
+    }
+}
+
+/// The dual counting Bloom filter.
+///
+/// Call [`on_activation`](Self::on_activation) for every row activation and
+/// [`is_blacklisted`](Self::is_blacklisted) before scheduling one; the
+/// memory controller delays activations of blacklisted rows.
+///
+/// # Example
+///
+/// ```
+/// use hydra_baselines::DualCountingBloomFilter;
+/// use hydra_types::RowAddr;
+/// let mut f = DualCountingBloomFilter::new(1024, 8, 1000)?;
+/// let row = RowAddr::new(0, 0, 0, 1);
+/// for t in 0..8u64 {
+///     f.on_activation(row, t);
+/// }
+/// assert!(f.is_blacklisted(row));
+/// # Ok::<(), hydra_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DualCountingBloomFilter {
+    filters: [CountingBloom; 2],
+    threshold: u32,
+    half_window: MemCycle,
+    /// Index of the filter that resets at the *next* epoch boundary.
+    next_reset: usize,
+    epoch: u64,
+    generation: u64,
+}
+
+impl DualCountingBloomFilter {
+    /// Creates a D-CBF with `counters` counters per filter, blacklisting at
+    /// `threshold`, with filters alternately cleared every `half_window`
+    /// cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero sizes or thresholds.
+    pub fn new(
+        counters: usize,
+        threshold: u32,
+        half_window: MemCycle,
+    ) -> Result<Self, ConfigError> {
+        if counters == 0 || threshold == 0 || half_window == 0 {
+            return Err(ConfigError::new(
+                "counters, threshold and half_window must be nonzero",
+            ));
+        }
+        Ok(DualCountingBloomFilter {
+            filters: [CountingBloom::new(counters, 0), CountingBloom::new(counters, 1)],
+            threshold,
+            half_window,
+            next_reset: 0,
+            epoch: 0,
+            generation: 1,
+        })
+    }
+
+    /// The blacklist threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    fn advance_epochs(&mut self, now: MemCycle) {
+        while now / self.half_window > self.epoch {
+            self.epoch += 1;
+            self.generation += 1;
+            let generation = self.generation;
+            self.filters[self.next_reset].clear(generation);
+            self.next_reset ^= 1;
+        }
+    }
+
+    /// Records an activation at time `now` (both filters observe it).
+    pub fn on_activation(&mut self, row: RowAddr, now: MemCycle) {
+        self.advance_epochs(now);
+        for f in &mut self.filters {
+            f.insert(row);
+        }
+    }
+
+    /// True if the row's estimate in *either* filter reaches the threshold.
+    /// (The younger filter under-counts; the older one never under-counts
+    /// within its epoch, so checking both is conservative.)
+    pub fn is_blacklisted(&self, row: RowAddr) -> bool {
+        self.filters.iter().any(|f| f.estimate(row) >= self.threshold)
+    }
+
+    /// The row's activation-count upper bound (max over filters).
+    pub fn estimate(&self, row: RowAddr) -> u32 {
+        self.filters
+            .iter()
+            .map(|f| f.estimate(row))
+            .max()
+            .expect("two filters")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dcbf() -> DualCountingBloomFilter {
+        DualCountingBloomFilter::new(4096, 8, 1000).unwrap()
+    }
+
+    #[test]
+    fn estimate_never_undercounts() {
+        let mut f = dcbf();
+        let row = RowAddr::new(0, 0, 0, 42);
+        for i in 0..20u64 {
+            f.on_activation(row, i);
+            assert!(f.estimate(row) >= (i + 1) as u32);
+        }
+    }
+
+    #[test]
+    fn blacklists_at_threshold() {
+        let mut f = dcbf();
+        let row = RowAddr::new(0, 0, 1, 7);
+        for i in 0..7u64 {
+            f.on_activation(row, i);
+            assert!(!f.is_blacklisted(row), "too early at {i}");
+        }
+        f.on_activation(row, 7);
+        assert!(f.is_blacklisted(row));
+    }
+
+    #[test]
+    fn blacklist_persists_until_filter_reset() {
+        let mut f = dcbf();
+        let row = RowAddr::new(0, 0, 0, 9);
+        for i in 0..8u64 {
+            f.on_activation(row, i);
+        }
+        assert!(f.is_blacklisted(row));
+        // One epoch later one filter has reset, but the other still holds
+        // the count: still blacklisted (this is the property that rules out
+        // victim-refresh mitigation).
+        f.on_activation(RowAddr::new(0, 0, 0, 1), 1500);
+        assert!(f.is_blacklisted(row));
+        // After both filters have reset, the row is clean again.
+        f.on_activation(RowAddr::new(0, 0, 0, 1), 3500);
+        assert!(!f.is_blacklisted(row));
+    }
+
+    #[test]
+    fn aliasing_can_false_positive_small_filters() {
+        // An undersized filter (16 counters, 3 hashes) must eventually
+        // blacklist an innocent row under heavy scattered traffic.
+        let mut f = DualCountingBloomFilter::new(16, 8, u64::MAX / 2).unwrap();
+        for i in 0..500u32 {
+            f.on_activation(RowAddr::new(0, 0, 0, i + 100), u64::from(i));
+        }
+        let innocent = RowAddr::new(0, 0, 0, 5);
+        assert!(
+            f.is_blacklisted(innocent),
+            "16-counter filter under 500 scattered ACTs must alias"
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        assert!(DualCountingBloomFilter::new(0, 8, 10).is_err());
+        assert!(DualCountingBloomFilter::new(16, 0, 10).is_err());
+        assert!(DualCountingBloomFilter::new(16, 8, 0).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Baseline Row-Hammer trackers the Hydra paper compares against.
+//!
+//! * [`graphene::Graphene`] — the state-of-the-art SRAM tracker (Misra-Gries
+//!   top-N frequent-row detection, per bank) the paper's Fig. 5 compares to.
+//! * [`cra::Cra`] — Counter-Based Row Activation: one counter per row stored
+//!   in DRAM with a conventional 64-byte-line metadata cache (Fig. 2, Fig. 5).
+//! * [`para::Para`] — the stateless probabilistic mitigation (Sec. 7.3).
+//! * [`ocpr::Ocpr`] — One-Counter-Per-Row: the exact SRAM oracle that upper
+//!   bounds tracker storage (Table 1) and serves as the ground-truth tracker
+//!   in tests.
+//! * [`dcbf::DualCountingBloomFilter`] — the blacklisting filter of
+//!   BlockHammer (D-CBF), which supports only rate-control mitigation, and
+//!   [`blockhammer::BlockHammer`], its tracker wrapper for the full
+//!   simulator (pair with `MitigationPolicy::RateLimit`).
+//! * [`trr::VendorTrr`] — a deliberately weak vendor-TRR sampler, for the
+//!   TRRespass narrative (Sec. 7.4).
+//! * [`twice::TwiceTable`] — a TWiCE-style pruned counter table.
+//! * [`cat::CounterTree`] — a CAT-style adaptive tree of counters.
+//! * [`storage`] — the analytic per-rank storage models behind Tables 1 & 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockhammer;
+pub mod cat;
+pub mod cra;
+pub mod dcbf;
+pub mod graphene;
+pub mod misra_gries;
+pub mod ocpr;
+pub mod para;
+pub mod region;
+pub mod storage;
+pub mod trr;
+pub mod twice;
+
+pub use blockhammer::BlockHammer;
+pub use cat::CounterTree;
+pub use cra::{Cra, CraConfig};
+pub use dcbf::DualCountingBloomFilter;
+pub use graphene::{Graphene, GrapheneConfig};
+pub use misra_gries::MisraGries;
+pub use ocpr::Ocpr;
+pub use para::Para;
+pub use region::CounterRegion;
+pub use trr::VendorTrr;
+pub use twice::TwiceTable;

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the tracker data structures: the per-
+//! activation cost of each design's bookkeeping (GCT increment, RCC
+//! hit/miss, Graphene's Misra-Gries update, CRA's metadata cache, full
+//! tracker `on_activation` paths).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hydra_baselines::{Cra, CraConfig, Graphene, GrapheneConfig, MisraGries, Ocpr};
+use hydra_core::{GroupCountTable, Hydra, HydraConfig, RowCountCache};
+use hydra_types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
+
+fn bench_gct(c: &mut Criterion) {
+    let mut gct = GroupCountTable::new(16 * 1024, 200);
+    let mut i = 0usize;
+    c.bench_function("gct_increment", |b| {
+        b.iter(|| {
+            i = (i + 7) & (16 * 1024 - 1);
+            black_box(gct.increment(i));
+        })
+    });
+}
+
+fn bench_rcc(c: &mut Criterion) {
+    let mut rcc = RowCountCache::new(4096, 16);
+    for s in 0..4096u64 {
+        rcc.insert(s, 200);
+    }
+    let mut s = 0u64;
+    c.bench_function("rcc_hit", |b| {
+        b.iter(|| {
+            s = (s + 13) % 4096;
+            black_box(rcc.lookup_mut(s));
+        })
+    });
+    let mut t = 1 << 20;
+    c.bench_function("rcc_miss_insert_evict", |b| {
+        b.iter(|| {
+            t += 4096;
+            let _ = rcc.lookup_mut(t);
+            black_box(rcc.insert(t, 200));
+        })
+    });
+}
+
+fn bench_misra_gries(c: &mut Criterion) {
+    let mut mg: MisraGries<u32> = MisraGries::new(5441);
+    let mut r = 0u32;
+    c.bench_function("misra_gries_update", |b| {
+        b.iter(|| {
+            r = (r * 1103515245 + 12345) % 131_072;
+            black_box(mg.increment(&r));
+        })
+    });
+}
+
+fn full_tracker_bench(c: &mut Criterion) {
+    let geom = MemGeometry::isca22_baseline();
+    let mut group = c.benchmark_group("tracker_on_activation");
+
+    let mut hydra = Hydra::new(HydraConfig::isca22_default(geom, 0).unwrap()).unwrap();
+    let mut i = 0u32;
+    group.bench_function("hydra", |b| {
+        b.iter(|| {
+            i = (i * 1103515245 + 12345) % 131_000;
+            black_box(hydra.on_activation(
+                RowAddr::new(0, 0, (i % 16) as u8, i),
+                0,
+                ActivationKind::Demand,
+            ));
+        })
+    });
+
+    let mut graphene = Graphene::new(
+        GrapheneConfig::for_threshold(geom, 0, 500, 1_360_000).unwrap(),
+    );
+    let mut j = 0u32;
+    group.bench_function("graphene", |b| {
+        b.iter(|| {
+            j = (j * 1103515245 + 12345) % 131_000;
+            black_box(graphene.on_activation(
+                RowAddr::new(0, 0, (j % 16) as u8, j),
+                0,
+                ActivationKind::Demand,
+            ));
+        })
+    });
+
+    let mut cra = Cra::new(CraConfig::for_threshold(geom, 0, 500, 64 * 1024).unwrap()).unwrap();
+    let mut k = 0u32;
+    group.bench_function("cra", |b| {
+        b.iter(|| {
+            k = (k * 1103515245 + 12345) % 131_000;
+            black_box(cra.on_activation(
+                RowAddr::new(0, 0, (k % 16) as u8, k),
+                0,
+                ActivationKind::Demand,
+            ));
+        })
+    });
+
+    let mut ocpr = Ocpr::new(geom, 0, 250).unwrap();
+    let mut m = 0u32;
+    group.bench_function("ocpr", |b| {
+        b.iter(|| {
+            m = (m * 1103515245 + 12345) % 131_000;
+            black_box(ocpr.on_activation(
+                RowAddr::new(0, 0, (m % 16) as u8, m),
+                0,
+                ActivationKind::Demand,
+            ));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gct, bench_rcc, bench_misra_gries, full_tracker_bench);
+criterion_main!(benches);

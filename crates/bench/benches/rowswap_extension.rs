@@ -1,0 +1,100 @@
+//! Extension experiment (Sec. 8): Hydra with row-swap mitigation instead of
+//! victim refresh — the "row migration" future work the paper names.
+//!
+//! Compares the two mitigation policies under Hydra on hot-row workloads:
+//! row swap pays two full row copies per mitigation (vs. 4 victim-refresh
+//! activations) but breaks aggressor/victim spatial correlation, and its
+//! cost concentrates on genuinely hot rows.
+
+use hydra_bench::{ExperimentScale, Table, TrackerKind};
+use hydra_sim::{geometric_mean, SystemSim};
+use hydra_types::mitigation::MitigationPolicy;
+use hydra_workloads::registry;
+
+fn main() {
+    let mut scale = ExperimentScale::from_env();
+    // Budget sized so hot rows cross the scaled threshold and swaps
+    // actually fire (see delay_mitigation).
+    scale.instructions_per_core = 40_000;
+    println!(
+        "\n=== Extension: victim-refresh vs row-swap mitigation (S={}) ===\n",
+        scale.scale
+    );
+
+    // Threshold scaled (250 -> 31) like the structures so mitigations fire
+    // at compressed-window activation rates (see delay_mitigation).
+    let tracker = TrackerKind::HydraCustom {
+        t_h: 31,
+        t_g: 24,
+        gct_total: 32_768,
+        rcc_total: 8_192,
+        use_gct: true,
+        use_rcc: true,
+    };
+    // parest/cactuBSSN (thousands of hot rows) make row swapping pathologically
+    // expensive — every hot row pays two full row copies per T_H activations,
+    // a finding in itself; the runnable comparison uses moderate hot-row
+    // counts.
+    let names = ["stream", "ferret", "gups", "mcf"];
+    let mut table = Table::new(vec![
+        "workload",
+        "victim-refresh slowdown",
+        "row-swap slowdown",
+        "swaps",
+    ]);
+    let mut refresh_all = Vec::new();
+    let mut swap_all = Vec::new();
+
+    for name in names {
+        let spec = registry::by_name(name).expect("registered");
+        let run = |policy: MitigationPolicy| {
+            let mut config = scale.system_config();
+            config.mitigation = policy;
+            let geometry = config.geometry;
+            let seed = scale.seed;
+            let s = scale.scale;
+            let mut sim = SystemSim::new(config, |core| {
+                spec.build(geometry, s, seed ^ (core as u64).wrapping_mul(0x9E37))
+            })
+            .with_trackers(|ch| tracker.build(geometry, ch, &scale));
+            sim.run()
+        };
+        let baseline = {
+            let config = scale.system_config();
+            let geometry = config.geometry;
+            let seed = scale.seed;
+            let s = scale.scale;
+            SystemSim::new(config, |core| {
+                spec.build(geometry, s, seed ^ (core as u64).wrapping_mul(0x9E37))
+            })
+            .run()
+        };
+        let refresh = run(MitigationPolicy::default());
+        let swap = run(MitigationPolicy::RowSwap { seed: 0xABCD });
+        let refresh_pct = refresh.slowdown_pct(&baseline);
+        let swap_pct = swap.slowdown_pct(&baseline);
+        let swaps: u64 = swap.controllers.iter().map(|c| c.row_swaps).sum();
+        refresh_all.push(1.0 + refresh_pct / 100.0);
+        swap_all.push(1.0 + swap_pct / 100.0);
+        table.row(vec![
+            name.to_string(),
+            format!("{refresh_pct:.2}%"),
+            format!("{swap_pct:.2}%"),
+            swaps.to_string(),
+        ]);
+    }
+    let refresh_mean = (geometric_mean(&refresh_all) - 1.0) * 100.0;
+    let swap_mean = (geometric_mean(&swap_all) - 1.0) * 100.0;
+    table.row(vec![
+        "GEOMEAN".into(),
+        format!("{refresh_mean:.2}%"),
+        format!("{swap_mean:.2}%"),
+        String::new(),
+    ]);
+    table.print();
+    println!("\nRow swap trades ~128x more data movement per mitigation for breaking");
+    println!("spatial correlation; with Hydra's low mitigation rate both stay modest.");
+    println!(
+        "Observed: victim-refresh {refresh_mean:.2}% vs row-swap {swap_mean:.2}% average slowdown."
+    );
+}

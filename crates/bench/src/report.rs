@@ -1,0 +1,198 @@
+//! Plain-text table reporting for the bench targets.
+//!
+//! Every bench target prints the rows/series its paper table or figure
+//! reports, in a fixed-width layout that survives `cargo bench` output.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table printer.
+///
+/// # Example
+///
+/// ```
+/// use hydra_bench::Table;
+/// let mut t = Table::new(vec!["scheme", "bytes"]);
+/// t.row(vec!["hydra".into(), "57856".into()]);
+/// let s = t.render();
+/// assert!(s.contains("hydra"));
+/// assert!(s.contains("scheme"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header count).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let rule: String = widths.iter().map(|w| "-".repeat(*w) + "  ").collect();
+        out.push_str(rule.trim_end());
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for cells containing
+    /// commas or quotes), for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> = cells.iter().map(|c| cell(c)).collect();
+            out.push_str(&joined.join(","));
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path` (used by bench targets when
+    /// `HYDRA_CSV_DIR` is set, so results can be plotted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// If the `HYDRA_CSV_DIR` environment variable is set, writes this
+    /// table there as `<name>.csv` (creating the directory), and reports
+    /// the path on stdout. No-op otherwise.
+    pub fn export_csv(&self, name: &str) {
+        if let Ok(dir) = std::env::var("HYDRA_CSV_DIR") {
+            let dir = std::path::PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("could not create {}: {e}", dir.display());
+                return;
+            }
+            let path = dir.join(format!("{name}.csv"));
+            match self.write_csv(&path) {
+                Ok(()) => println!("(csv written to {})", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Formats a byte count the way the paper's tables do (KB / MB).
+///
+/// # Example
+///
+/// ```
+/// use hydra_bench::fmt_bytes;
+/// assert_eq!(fmt_bytes(57_856), "56.5 KB");
+/// assert_eq!(fmt_bytes(2 * 1024 * 1024), "2.0 MB");
+/// ```
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= MB {
+        format!("{:.1} MB", b / MB)
+    } else {
+        format!("{:.1} KB", b / KB)
+    }
+}
+
+/// Formats a byte count as whole KB (for the ≤64 KB goal column).
+pub fn fmt_kb(bytes: u64) -> String {
+    format!("{} KB", bytes / 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x,y".into(), "he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\"\n"));
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(340 * 1024), "340.0 KB");
+        assert_eq!(fmt_bytes(2_411_724), "2.3 MB");
+        assert_eq!(fmt_kb(64 * 1024), "64 KB");
+    }
+}

@@ -1,0 +1,77 @@
+//! SRAM power model for Sec. 6.8 (the CACTI substitute).
+//!
+//! The paper reports, from CACTI at 22 nm, 10.6 mW for the 32 KB GCT and
+//! 8 mW for the 24 KB RCC (18.6 mW total). We model SRAM power as dynamic
+//! (per-access energy × access rate) plus leakage (per-KB), with constants
+//! calibrated to land in the same regime as CACTI's 22 nm numbers for
+//! structures of this size and access rate:
+//!
+//! * read/write energy: ~8 pJ per access for tens-of-KB arrays;
+//! * leakage: ~0.25 mW per KB at 22 nm.
+//!
+//! The reproduction target is the *order of magnitude* (tens of mW — i.e.
+//! negligible next to DRAM power), not CACTI's exact figures.
+
+/// Per-structure SRAM power estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramPowerModel {
+    /// Dynamic energy per access (picojoules).
+    pub access_pj: f64,
+    /// Leakage power per kilobyte (milliwatts).
+    pub leakage_mw_per_kb: f64,
+}
+
+impl SramPowerModel {
+    /// Calibrated 22 nm constants (see module docs).
+    pub fn cacti_22nm() -> Self {
+        SramPowerModel {
+            access_pj: 8.0,
+            leakage_mw_per_kb: 0.25,
+        }
+    }
+
+    /// Average power of a structure of `bytes` capacity receiving
+    /// `accesses_per_sec` accesses.
+    pub fn power_mw(&self, bytes: u64, accesses_per_sec: f64) -> f64 {
+        let dynamic_mw = self.access_pj * 1e-12 * accesses_per_sec * 1e3;
+        let leakage_mw = self.leakage_mw_per_kb * bytes as f64 / 1024.0;
+        dynamic_mw + leakage_mw
+    }
+}
+
+impl Default for SramPowerModel {
+    fn default() -> Self {
+        SramPowerModel::cacti_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hydra_structures_land_in_the_cacti_regime() {
+        // GCT: 32 KB, accessed on every activation. Peak activation rate per
+        // system ~ 2 channels × 16 banks × (1 / 45 ns) is the theoretical
+        // max; a memory-intensive workload sustains ~10^8 ACTs/s.
+        let m = SramPowerModel::cacti_22nm();
+        let gct = m.power_mw(32 * 1024, 1.0e9);
+        let rcc = m.power_mw(24 * 1024, 1.0e8);
+        // Paper: 10.6 mW and 8 mW. Accept the same order of magnitude.
+        assert!((2.0..40.0).contains(&gct), "GCT {gct} mW");
+        assert!((1.0..30.0).contains(&rcc), "RCC {rcc} mW");
+    }
+
+    #[test]
+    fn leakage_dominates_at_idle() {
+        let m = SramPowerModel::cacti_22nm();
+        let idle = m.power_mw(32 * 1024, 0.0);
+        assert!((idle - 8.0).abs() < 0.01, "idle {idle}");
+    }
+
+    #[test]
+    fn power_scales_with_access_rate() {
+        let m = SramPowerModel::cacti_22nm();
+        assert!(m.power_mw(1024, 1e9) > m.power_mw(1024, 1e6));
+    }
+}

@@ -1,0 +1,116 @@
+//! Analytic storage model for Hydra (Table 4 of the paper).
+
+use crate::config::HydraConfig;
+
+/// SRAM and DRAM storage consumed by a set of Hydra instances.
+///
+/// # Example
+///
+/// ```
+/// use hydra_core::{HydraConfig, HydraStorage};
+/// use hydra_types::MemGeometry;
+///
+/// let geom = MemGeometry::isca22_baseline();
+/// let config = HydraConfig::isca22_default(geom, 0)?;
+/// let storage = HydraStorage::for_system(&config, geom.channels() as u32);
+/// // Table 4: 32 KB GCT + 24 KB RCC + 0.5 KB RIT-ACT = 56.5 KB.
+/// assert_eq!(storage.total_sram_bytes(), 57_856);
+/// # Ok::<(), hydra_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HydraStorage {
+    /// GCT SRAM bytes.
+    pub gct_bytes: u64,
+    /// RCC SRAM bytes (24-bit entries: valid + tag + SRRIP + count).
+    pub rcc_bytes: u64,
+    /// RIT-ACT SRAM bytes (one byte per reserved RCT row).
+    pub rit_bytes: u64,
+    /// In-DRAM RCT bytes (one byte per row).
+    pub rct_dram_bytes: u64,
+}
+
+impl HydraStorage {
+    /// Storage for one per-channel instance.
+    pub fn for_instance(config: &HydraConfig) -> Self {
+        let t_g_bits = u64::from(32 - config.t_g.leading_zeros()).max(1);
+        let gct_bits = config.gct_entries as u64 * t_g_bits;
+        let rows = config.rows_covered();
+        let sets = (config.rcc_entries / config.rcc_ways).max(1) as u64;
+        let row_index_bits = u64::from(64 - (rows - 1).leading_zeros());
+        let tag_bits = row_index_bits.saturating_sub(u64::from(sets.trailing_zeros()));
+        // valid + tag + 2 SRRIP bits + 8-bit count (Table 4).
+        let rcc_bits = config.rcc_entries as u64 * (1 + tag_bits + 2 + 8);
+        let reserved_rows = rows.div_ceil(config.geometry.row_bytes());
+        HydraStorage {
+            gct_bytes: gct_bits.div_ceil(8),
+            rcc_bytes: rcc_bits.div_ceil(8),
+            rit_bytes: reserved_rows,
+            rct_dram_bytes: rows,
+        }
+    }
+
+    /// Storage for `instances` identical instances (one per channel).
+    pub fn for_system(config: &HydraConfig, instances: u32) -> Self {
+        let one = Self::for_instance(config);
+        HydraStorage {
+            gct_bytes: one.gct_bytes * u64::from(instances),
+            rcc_bytes: one.rcc_bytes * u64::from(instances),
+            rit_bytes: one.rit_bytes * u64::from(instances),
+            rct_dram_bytes: one.rct_dram_bytes * u64::from(instances),
+        }
+    }
+
+    /// Total SRAM bytes (GCT + RCC + RIT-ACT).
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.gct_bytes + self.rcc_bytes + self.rit_bytes
+    }
+
+    /// DRAM overhead as a fraction of `capacity_bytes`.
+    pub fn dram_overhead_fraction(&self, capacity_bytes: u64) -> f64 {
+        self.rct_dram_bytes as f64 / capacity_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_types::MemGeometry;
+
+    fn baseline_storage() -> HydraStorage {
+        let geom = MemGeometry::isca22_baseline();
+        let config = HydraConfig::isca22_default(geom, 0).unwrap();
+        HydraStorage::for_system(&config, u32::from(geom.channels()))
+    }
+
+    #[test]
+    fn table4_gct_is_32kb() {
+        assert_eq!(baseline_storage().gct_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn table4_rcc_is_24kb() {
+        // 8K entries × 24 bits = 24 KB. Per-channel: 4K entries over 2M rows,
+        // 256 sets → 21-bit index − 8 set bits = 13-bit tag; 1+13+2+8 = 24.
+        assert_eq!(baseline_storage().rcc_bytes, 24 * 1024);
+    }
+
+    #[test]
+    fn table4_rit_is_half_kb() {
+        assert_eq!(baseline_storage().rit_bytes, 512);
+    }
+
+    #[test]
+    fn table4_total_is_56_5_kb() {
+        let total = baseline_storage().total_sram_bytes();
+        assert_eq!(total, 32 * 1024 + 24 * 1024 + 512);
+        assert!((total as f64 / 1024.0 - 56.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rct_dram_is_4mb_under_0_02_percent() {
+        let s = baseline_storage();
+        assert_eq!(s.rct_dram_bytes, 4 * 1024 * 1024);
+        let frac = s.dram_overhead_fraction(32 << 30);
+        assert!(frac < 0.0002, "DRAM overhead {frac}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based verification of Hydra's security guarantee (Sec. 5.1).
+//!
+//! Theorem-1: within a tracking window, Hydra issues a mitigation for a row
+//! (a) at or before `T_H` activations, and (b) at or before each `T_H`
+//! activations since its previous mitigation.
+//!
+//! We drive arbitrary (including adversarial) activation sequences through
+//! Hydra alongside an exact per-row oracle. The oracle counts *true*
+//! activations since the window start or the row's last mitigation; the
+//! invariant is that the oracle count never exceeds `T_H` — i.e. no row can
+//! accumulate `T_H` unmitigated activations.
+
+use hydra_core::{Hydra, HydraConfig, GroupIndexer};
+use hydra_types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const T_H: u32 = 16;
+const T_G: u32 = 12;
+
+fn build_hydra(use_gct: bool, use_rcc: bool, randomized: bool) -> Hydra {
+    let geom = MemGeometry::tiny();
+    let mut builder = HydraConfig::builder(geom, 0);
+    builder
+        .thresholds(T_H, T_G)
+        .gct_entries(64)
+        .rcc_entries(16)
+        .rcc_ways(4);
+    if !use_gct {
+        builder.without_gct();
+    }
+    if !use_rcc {
+        builder.without_rcc();
+    }
+    if randomized {
+        let rows = geom.rows_per_channel();
+        builder.indexer(GroupIndexer::randomized_for(rows, 64, 0xabcdef).unwrap());
+    }
+    Hydra::new(builder.build().unwrap()).unwrap()
+}
+
+/// Replays `rows` as an activation sequence (with window resets sprinkled in
+/// via `reset_every`) and asserts the Theorem-1 invariant throughout.
+fn check_guarantee(hydra: &mut Hydra, sequence: &[RowAddr], reset_every: usize) {
+    let mut oracle: HashMap<RowAddr, u32> = HashMap::new();
+    for (i, &row) in sequence.iter().enumerate() {
+        if reset_every > 0 && i > 0 && i % reset_every == 0 {
+            hydra.reset_window(i as u64);
+            oracle.clear();
+        }
+        let entry = oracle.entry(row).or_insert(0);
+        *entry += 1;
+        let true_count = *entry;
+        let resp = hydra.on_activation(row, i as u64, ActivationKind::Demand);
+        for m in &resp.mitigations {
+            oracle.insert(m.aggressor, 0);
+        }
+        // Theorem-1: a mitigation arrives at or before the T_H-th true
+        // activation, so after every step the unmitigated count is < T_H
+        // (a mitigation at exactly T_H resets it to zero).
+        let after = *oracle.get(&row).unwrap_or(&0);
+        assert!(
+            after < T_H,
+            "row {row} reached {true_count} unmitigated activations (T_H={T_H}) at step {i}"
+        );
+    }
+}
+
+/// Strategy: sequences biased toward few rows (hammering) with occasional
+/// scattered rows (noise), the worst case for aggregate tracking.
+fn activation_sequence() -> impl Strategy<Value = Vec<RowAddr>> {
+    prop::collection::vec(
+        prop_oneof![
+            // Hammer a handful of hot rows (including group-sharing pairs).
+            4 => (0u32..8).prop_map(|r| RowAddr::new(0, 0, 0, r)),
+            // Rows sharing groups with the hot rows.
+            2 => (0u32..128).prop_map(|r| RowAddr::new(0, 0, 0, r)),
+            // Scattered rows across banks.
+            1 => (0u8..4, 0u32..1024).prop_map(|(b, r)| RowAddr::new(0, 0, b, r)),
+            // The reserved RCT region (top row of each bank; counter-row
+            // attack, Sec. 5.2.2).
+            1 => (0u8..4).prop_map(|b| RowAddr::new(0, 0, b, 1023)),
+        ],
+        1..2000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_holds_for_default_hydra(seq in activation_sequence(), reset in 0usize..500) {
+        let mut hydra = build_hydra(true, true, false);
+        check_guarantee(&mut hydra, &seq, reset);
+    }
+
+    #[test]
+    fn theorem1_holds_without_rcc(seq in activation_sequence(), reset in 0usize..500) {
+        let mut hydra = build_hydra(true, false, false);
+        check_guarantee(&mut hydra, &seq, reset);
+    }
+
+    #[test]
+    fn theorem1_holds_without_gct(seq in activation_sequence(), reset in 0usize..500) {
+        let mut hydra = build_hydra(false, true, false);
+        check_guarantee(&mut hydra, &seq, reset);
+    }
+
+    #[test]
+    fn theorem1_holds_with_randomized_indexing(seq in activation_sequence(), reset in 0usize..500) {
+        let mut hydra = build_hydra(true, true, true);
+        check_guarantee(&mut hydra, &seq, reset);
+    }
+
+    /// Hydra's counts are conservative: a mitigation may arrive *early*
+    /// (group interference) but a row that is activated fewer than
+    /// T_H − T_G times can never be mitigated — its per-row count starts at
+    /// most at T_G.
+    #[test]
+    fn no_mitigation_below_th_minus_tg(extra_rows in prop::collection::vec(2u32..64, 0..200)) {
+        let mut hydra = build_hydra(true, true, false);
+        let victim = RowAddr::new(0, 0, 0, 0);
+        // Others hammer the group; victim activates T_H - T_G - 1 times.
+        for &r in &extra_rows {
+            hydra.on_activation(RowAddr::new(0, 0, 0, r), 0, ActivationKind::Demand);
+        }
+        let mut mitigated = false;
+        for _ in 0..(T_H - T_G - 1) {
+            let resp = hydra.on_activation(victim, 0, ActivationKind::Demand);
+            mitigated |= resp.mitigations.iter().any(|m| m.aggressor == victim);
+        }
+        prop_assert!(!mitigated, "victim mitigated before T_H - T_G own activations");
+    }
+}
+
+/// Deterministic adversarial patterns, exercised exhaustively (not sampled).
+#[test]
+fn double_sided_hammer_is_always_mitigated() {
+    let mut hydra = build_hydra(true, true, false);
+    let a = RowAddr::new(0, 0, 0, 100);
+    let b = RowAddr::new(0, 0, 0, 102);
+    let mut oracle: HashMap<RowAddr, u32> = HashMap::new();
+    for i in 0..5000u64 {
+        for &row in &[a, b] {
+            *oracle.entry(row).or_insert(0) += 1;
+            let resp = hydra.on_activation(row, i, ActivationKind::Demand);
+            for m in &resp.mitigations {
+                oracle.insert(m.aggressor, 0);
+            }
+            assert!(*oracle.get(&row).unwrap() <= T_H);
+        }
+    }
+    // Sustained hammering must produce roughly one mitigation per T_H acts.
+    let total = hydra.stats().mitigations;
+    assert!(total >= (2 * 5000 / T_H as u64) - 4, "only {total} mitigations");
+}
+
+#[test]
+fn trrespass_style_thrash_cannot_escape() {
+    // Many-sided pattern cycling through more rows than the RCC can hold,
+    // plus sustained pressure on one target row.
+    let mut hydra = build_hydra(true, true, false);
+    let target = RowAddr::new(0, 0, 1, 500);
+    let mut target_count = 0u32;
+    let mut mitigated = 0u64;
+    for round in 0..4000u64 {
+        // Thrash: 40 decoy rows across the bank (RCC is 16 entries).
+        let decoy = RowAddr::new(0, 0, 1, (round % 40) as u32 * 7 % 1024);
+        hydra.on_activation(decoy, round, ActivationKind::Demand);
+        // Hammer the target.
+        target_count += 1;
+        let resp = hydra.on_activation(target, round, ActivationKind::Demand);
+        if resp.mitigations.iter().any(|m| m.aggressor == target) {
+            mitigated += 1;
+            target_count = 0;
+        }
+        assert!(target_count <= T_H, "target escaped tracking at round {round}");
+    }
+    assert!(mitigated > 0);
+}
+
+#[test]
+fn counter_row_hammering_is_mitigated_by_rit() {
+    let mut hydra = build_hydra(true, true, false);
+    let rct_row = RowAddr::new(0, 0, 3, 1023);
+    assert!(hydra.is_reserved_row(rct_row));
+    let mut since_mitigation = 0u32;
+    for i in 0..1000u64 {
+        since_mitigation += 1;
+        let resp = hydra.on_activation(rct_row, i, ActivationKind::TrackerSide);
+        if !resp.mitigations.is_empty() {
+            since_mitigation = 0;
+        }
+        assert!(since_mitigation <= T_H);
+    }
+    assert!(hydra.stats().rit_mitigations >= 1000 / u64::from(T_H) - 1);
+}
+
+#[test]
+fn half_double_mitigation_acts_feed_back() {
+    // Victim refreshes count as activations of the victims: a row receiving
+    // only mitigation-refresh ACTs must itself get mitigated eventually.
+    let mut hydra = build_hydra(true, true, false);
+    let victim = RowAddr::new(0, 0, 0, 50);
+    let mut since = 0u32;
+    let mut saw_mitigation = false;
+    for i in 0..200u64 {
+        since += 1;
+        let resp = hydra.on_activation(victim, i, ActivationKind::MitigationRefresh);
+        if resp.mitigations.iter().any(|m| m.aggressor == victim) {
+            saw_mitigation = true;
+            since = 0;
+        }
+        assert!(since <= T_H);
+    }
+    assert!(saw_mitigation);
+}

@@ -1,0 +1,44 @@
+//! DRAM command vocabulary.
+
+use std::fmt;
+
+/// The DRAM commands the controller can issue.
+///
+/// Auto-refresh is issued per rank; all other commands target a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Open a row into the bank's row buffer.
+    Activate,
+    /// Read a column (one 64-byte burst) from the open row.
+    Read,
+    /// Write a column (one 64-byte burst) into the open row.
+    Write,
+    /// Close the open row.
+    Precharge,
+    /// Per-rank auto-refresh (tRFC).
+    Refresh,
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DramCommand::Activate => "ACT",
+            DramCommand::Read => "RD",
+            DramCommand::Write => "WR",
+            DramCommand::Precharge => "PRE",
+            DramCommand::Refresh => "REF",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_match_jedec_mnemonics() {
+        assert_eq!(DramCommand::Activate.to_string(), "ACT");
+        assert_eq!(DramCommand::Refresh.to_string(), "REF");
+    }
+}

@@ -1,0 +1,214 @@
+//! IDD-based DRAM energy model.
+//!
+//! Follows the structure of the Micron DDR4 system-power calculator the paper
+//! uses (Sec. 3.1, Sec. 6.8): per-event energies for activate/precharge
+//! pairs, read and write bursts, and refresh commands, plus a background
+//! power term. The constants below are derived from representative 16 Gb x8
+//! DDR4-3200 datasheet IDD values at VDD = 1.2 V, for a rank of 8 chips:
+//!
+//! * `E_act`  = (IDD0 − IDD3N) · VDD · tRC · chips  ≈ (55−40 mA)·1.2 V·45 ns·8 ≈ 6.5 nJ
+//! * `E_rd`   = (IDD4R − IDD3N) · VDD · tBL · chips ≈ (145−40 mA)·1.2 V·2.5 ns·8 ≈ 2.5 nJ
+//! * `E_wr`   = (IDD4W − IDD3N) · VDD · tBL · chips ≈ 2.4 nJ
+//! * `E_ref`  = (IDD5B − IDD3N) · VDD · tRFC · chips ≈ (190−40 mA)·1.2 V·350 ns·8 ≈ 504 nJ
+//! * `P_bg`   = IDD3N · VDD · chips ≈ 384 mW per rank (active standby)
+//!
+//! Absolute wattage is not the reproduction target; Sec. 6.8 only needs the
+//! *relative* energy of the extra accesses a tracker generates, which this
+//! model captures because extra accesses add ACT/RD/WR/PRE events.
+
+use hydra_types::clock::Clock;
+use hydra_types::clock::MemCycle;
+
+/// Counts of energy-bearing DRAM events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowerCounters {
+    /// Activate commands (each implies an eventual precharge).
+    pub activations: u64,
+    /// Read bursts.
+    pub reads: u64,
+    /// Write bursts.
+    pub writes: u64,
+    /// Precharge commands.
+    pub precharges: u64,
+    /// REF commands.
+    pub refreshes: u64,
+}
+
+impl PowerCounters {
+    /// Element-wise sum of two counter sets.
+    pub fn combined(self, other: PowerCounters) -> PowerCounters {
+        PowerCounters {
+            activations: self.activations + other.activations,
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            precharges: self.precharges + other.precharges,
+            refreshes: self.refreshes + other.refreshes,
+        }
+    }
+}
+
+/// Energy attributed to each event class, in nanojoules, plus totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Activate/precharge energy (nJ).
+    pub activate_nj: f64,
+    /// Read burst energy (nJ).
+    pub read_nj: f64,
+    /// Write burst energy (nJ).
+    pub write_nj: f64,
+    /// Refresh energy (nJ).
+    pub refresh_nj: f64,
+    /// Background (standby) energy (nJ).
+    pub background_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.activate_nj + self.read_nj + self.write_nj + self.refresh_nj + self.background_nj
+    }
+
+    /// Average power in milliwatts over `elapsed_cycles` of the given clock.
+    pub fn average_power_mw(&self, elapsed_cycles: MemCycle, clock: &Clock) -> f64 {
+        let seconds = clock.cycles_to_ns(elapsed_cycles) / 1e9;
+        if seconds == 0.0 {
+            0.0
+        } else {
+            self.total_nj() * 1e-9 / seconds * 1e3
+        }
+    }
+}
+
+/// Per-event DRAM energies for one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergyModel {
+    /// Energy per activate/precharge pair (nJ).
+    pub act_pre_nj: f64,
+    /// Energy per 64-byte read burst (nJ).
+    pub read_nj: f64,
+    /// Energy per 64-byte write burst (nJ).
+    pub write_nj: f64,
+    /// Energy per REF command (nJ).
+    pub refresh_nj: f64,
+    /// Background power per rank (mW).
+    pub background_mw_per_rank: f64,
+}
+
+impl DramEnergyModel {
+    /// Representative 16 Gb x8 DDR4-3200 values (see module docs).
+    pub fn ddr4_3200() -> Self {
+        DramEnergyModel {
+            act_pre_nj: 6.5,
+            read_nj: 2.5,
+            write_nj: 2.4,
+            refresh_nj: 504.0,
+            background_mw_per_rank: 384.0,
+        }
+    }
+
+    /// Computes the energy breakdown for a set of event counters observed
+    /// over `elapsed_cycles`, with `ranks` ranks drawing background power.
+    pub fn energy(
+        &self,
+        counters: &PowerCounters,
+        elapsed_cycles: MemCycle,
+        ranks: u32,
+        clock: &Clock,
+    ) -> EnergyBreakdown {
+        let seconds = clock.cycles_to_ns(elapsed_cycles) / 1e9;
+        EnergyBreakdown {
+            activate_nj: counters.activations as f64 * self.act_pre_nj,
+            read_nj: counters.reads as f64 * self.read_nj,
+            write_nj: counters.writes as f64 * self.write_nj,
+            refresh_nj: counters.refreshes as f64 * self.refresh_nj,
+            background_nj: self.background_mw_per_rank * 1e-3 * f64::from(ranks) * seconds * 1e9,
+        }
+    }
+}
+
+impl Default for DramEnergyModel {
+    fn default() -> Self {
+        DramEnergyModel::ddr4_3200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_with_events() {
+        let m = DramEnergyModel::ddr4_3200();
+        let clk = Clock::ddr4_3200();
+        let a = m.energy(
+            &PowerCounters {
+                activations: 10,
+                ..Default::default()
+            },
+            0,
+            0,
+            &clk,
+        );
+        let b = m.energy(
+            &PowerCounters {
+                activations: 20,
+                ..Default::default()
+            },
+            0,
+            0,
+            &clk,
+        );
+        assert!((b.activate_nj - 2.0 * a.activate_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_power_matches_constant() {
+        let m = DramEnergyModel::ddr4_3200();
+        let clk = Clock::ddr4_3200();
+        let one_second = clk.ms_to_cycles(1000.0);
+        let e = m.energy(&PowerCounters::default(), one_second, 2, &clk);
+        let mw = e.average_power_mw(one_second, &clk);
+        assert!((mw - 2.0 * m.background_mw_per_rank).abs() < 1.0, "mw={mw}");
+    }
+
+    #[test]
+    fn refresh_dominates_idle_dynamic_energy() {
+        // 8192 REFs per rank per 64 ms is a well-known ~1-5% power floor.
+        let m = DramEnergyModel::ddr4_3200();
+        let clk = Clock::ddr4_3200();
+        let window = clk.ms_to_cycles(64.0);
+        let e = m.energy(
+            &PowerCounters {
+                refreshes: 8192,
+                ..Default::default()
+            },
+            window,
+            1,
+            &clk,
+        );
+        let refresh_mw = e.refresh_nj * 1e-9 / 0.064 * 1e3;
+        assert!(refresh_mw > 10.0 && refresh_mw < 200.0, "refresh {refresh_mw} mW");
+    }
+
+    #[test]
+    fn combined_counters_add() {
+        let a = PowerCounters {
+            activations: 1,
+            reads: 2,
+            writes: 3,
+            precharges: 4,
+            refreshes: 5,
+        };
+        let b = a;
+        let c = a.combined(b);
+        assert_eq!(c.activations, 2);
+        assert_eq!(c.refreshes, 10);
+    }
+
+    #[test]
+    fn zero_elapsed_gives_zero_power() {
+        let clk = Clock::ddr4_3200();
+        let e = EnergyBreakdown::default();
+        assert_eq!(e.average_power_mw(0, &clk), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! JEDEC DDR4 timing parameters, expressed in memory-controller cycles.
+//!
+//! The defaults follow Table 2 of the paper (industrial 16Gb x8 DDR4-3200
+//! chips): tRCD = tRP = tCAS = 14 ns, tRC = 45 ns, tRFC = 350 ns, with a
+//! 1.6 GHz controller clock (0.625 ns/cycle) and a 64 ms refresh window.
+
+use hydra_types::clock::{Clock, MemCycle};
+
+/// DDR4 timing constraints in memory-controller cycles.
+///
+/// # Example
+///
+/// ```
+/// use hydra_dram::DramTiming;
+/// let t = DramTiming::ddr4_3200();
+/// assert_eq!(t.trc, 72);        // 45 ns at 1.6 GHz
+/// assert_eq!(t.trfc, 560);      // 350 ns
+/// assert_eq!(t.trefi, 12_500);  // 7.8125 us
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Activate → column command delay (tRCD).
+    pub trcd: MemCycle,
+    /// Precharge → activate delay (tRP).
+    pub trp: MemCycle,
+    /// Column command → first data (tCAS / CL).
+    pub tcas: MemCycle,
+    /// Activate → activate, same bank (tRC).
+    pub trc: MemCycle,
+    /// Activate → precharge, same bank (tRAS). `trc = tras + trp`.
+    pub tras: MemCycle,
+    /// Activate → activate, different banks of the same rank (tRRD).
+    pub trrd: MemCycle,
+    /// Four-activate window, per rank (tFAW).
+    pub tfaw: MemCycle,
+    /// End of write burst → precharge (write recovery, tWR).
+    pub twr: MemCycle,
+    /// Read → precharge (tRTP).
+    pub trtp: MemCycle,
+    /// Refresh command duration (tRFC).
+    pub trfc: MemCycle,
+    /// Average interval between per-rank refresh commands (tREFI).
+    pub trefi: MemCycle,
+    /// Cycles a 64-byte burst occupies the data bus (BL8 on a DDR bus = 4
+    /// controller cycles at the same clock).
+    pub burst: MemCycle,
+    /// The refresh window: every row is refreshed once per this many cycles
+    /// (64 ms by default). Also the Hydra tracking-window length.
+    pub refresh_window: MemCycle,
+}
+
+impl DramTiming {
+    /// Timings for the paper's DDR4-3200 baseline at the 1.6 GHz controller
+    /// clock (Table 2).
+    pub fn ddr4_3200() -> Self {
+        let clk = Clock::ddr4_3200();
+        let trp = clk.ns_to_cycles(14.0);
+        let trc = clk.ns_to_cycles(45.0);
+        DramTiming {
+            trcd: clk.ns_to_cycles(14.0),
+            trp,
+            tcas: clk.ns_to_cycles(14.0),
+            trc,
+            tras: trc - trp,
+            trrd: clk.ns_to_cycles(5.0),
+            tfaw: clk.ns_to_cycles(21.0),
+            twr: clk.ns_to_cycles(15.0),
+            trtp: clk.ns_to_cycles(7.5),
+            trfc: clk.ns_to_cycles(350.0),
+            trefi: clk.ns_to_cycles(7812.5),
+            burst: 4,
+            refresh_window: clk.ms_to_cycles(64.0),
+        }
+    }
+
+    /// A scaled-down copy for fast experiments: all per-command timings are
+    /// kept — including tREFI, so the refresh *overhead* (tRFC/tREFI) stays
+    /// at its real ~4.5 % — but the refresh/tracking window is divided by
+    /// `factor`, so a full tracking window fits in a short simulation while
+    /// the ratio of activations-per-window to tracker capacity is preserved
+    /// by scaling tracker structures alongside (see `hydra-bench`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or the scaled window would not fit a
+    /// single refresh interval.
+    pub fn with_scaled_window(mut self, factor: u64) -> Self {
+        assert!(factor > 0, "window scale factor must be nonzero");
+        self.refresh_window = (self.refresh_window / factor).max(self.trefi + 1);
+        self
+    }
+
+    /// Refresh commands issued per rank per refresh window.
+    pub fn refreshes_per_window(&self) -> u64 {
+        self.refresh_window / self.trefi
+    }
+
+    /// Fraction of time a rank is unavailable due to refresh
+    /// (tRFC / tREFI ≈ 4.5 % for the baseline).
+    pub fn refresh_overhead(&self) -> f64 {
+        self.trfc as f64 / self.trefi as f64
+    }
+
+    /// Maximum activations a single bank can sustain in one refresh window —
+    /// the paper's `ACT_max` (Sec. 4.1; ≈1.36 M for the baseline).
+    pub fn max_activations_per_window(&self) -> u64 {
+        let usable = self.refresh_window as f64 * (1.0 - self.refresh_overhead());
+        (usable / self.trc as f64) as u64
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming::ddr4_3200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_cycle_counts() {
+        let t = DramTiming::ddr4_3200();
+        assert_eq!(t.trcd, 23);
+        assert_eq!(t.trp, 23);
+        assert_eq!(t.tcas, 23);
+        assert_eq!(t.trc, 72);
+        assert_eq!(t.tras + t.trp, t.trc);
+        assert_eq!(t.refresh_window, 102_400_000);
+    }
+
+    #[test]
+    fn act_max_matches_paper() {
+        let t = DramTiming::ddr4_3200();
+        let act_max = t.max_activations_per_window();
+        // Paper Sec. 2.1 / 3.1: ~1.36 million activations per bank per 64 ms.
+        assert!(
+            (1_300_000..=1_420_000).contains(&act_max),
+            "ACT_max = {act_max}"
+        );
+    }
+
+    #[test]
+    fn refresh_overhead_is_under_5_percent() {
+        let t = DramTiming::ddr4_3200();
+        let o = t.refresh_overhead();
+        assert!(o > 0.04 && o < 0.05, "refresh overhead {o}");
+    }
+
+    #[test]
+    fn scaled_window_preserves_command_timings() {
+        let t = DramTiming::ddr4_3200().with_scaled_window(1000);
+        assert_eq!(t.trc, 72);
+        assert_eq!(t.refresh_window, 102_400);
+        assert!(t.trefi > t.trfc);
+    }
+
+    #[test]
+    fn refreshes_per_window_is_8192_at_baseline() {
+        let t = DramTiming::ddr4_3200();
+        assert_eq!(t.refreshes_per_window(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_scale_factor_panics() {
+        let _ = DramTiming::ddr4_3200().with_scaled_window(0);
+    }
+}

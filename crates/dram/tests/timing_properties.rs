@@ -1,0 +1,112 @@
+//! Property tests on the DRAM device model: no legal command sequence may
+//! ever violate a JEDEC timing constraint, and the channel's accounting
+//! must stay consistent under arbitrary interleavings.
+
+use hydra_dram::{DramChannel, DramTiming};
+use hydra_types::{MemGeometry, MemCycle};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Activate { bank: u8, row: u32 },
+    Read { bank: u8 },
+    Write { bank: u8 },
+    Precharge { bank: u8 },
+    Wait { cycles: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u32..64).prop_map(|(bank, row)| Op::Activate { bank, row }),
+        (0u8..4).prop_map(|bank| Op::Read { bank }),
+        (0u8..4).prop_map(|bank| Op::Write { bank }),
+        (0u8..4).prop_map(|bank| Op::Precharge { bank }),
+        (1u16..100).prop_map(|cycles| Op::Wait { cycles }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Issue ops only when the channel says they are legal; the channel's
+    /// internal assertions must never fire and stats must match what we did.
+    #[test]
+    fn legal_sequences_never_violate_timing(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut ch = DramChannel::new(MemGeometry::tiny(), DramTiming::ddr4_3200(), 0);
+        let mut now: MemCycle = 0;
+        let mut acts = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for op in ops {
+            ch.maintain_refresh(now);
+            match op {
+                Op::Activate { bank, row } => {
+                    if ch.can_activate(0, bank, now) {
+                        ch.activate(0, bank, row, now);
+                        acts += 1;
+                        prop_assert_eq!(ch.open_row(0, bank), Some(row));
+                    }
+                }
+                Op::Read { bank } => {
+                    if ch.can_read(0, bank, now) {
+                        let done = ch.read(0, bank, now);
+                        prop_assert!(done > now);
+                        reads += 1;
+                    }
+                }
+                Op::Write { bank } => {
+                    if ch.can_write(0, bank, now) {
+                        let done = ch.write(0, bank, now);
+                        prop_assert!(done > now);
+                        writes += 1;
+                    }
+                }
+                Op::Precharge { bank } => {
+                    if ch.can_precharge(0, bank, now) {
+                        ch.precharge(0, bank, now);
+                        prop_assert_eq!(ch.open_row(0, bank), None);
+                    }
+                }
+                Op::Wait { cycles } => now += MemCycle::from(cycles),
+            }
+            now += 1;
+        }
+        let stats = ch.stats();
+        prop_assert_eq!(stats.activations, acts);
+        prop_assert_eq!(stats.reads, reads);
+        prop_assert_eq!(stats.writes, writes);
+    }
+
+    /// A column command can never be legal on a closed bank, and an
+    /// activate can never be legal on an open one.
+    #[test]
+    fn state_machine_exclusivity(row in 0u32..64, delay in 0u64..200) {
+        let mut ch = DramChannel::new(MemGeometry::tiny(), DramTiming::ddr4_3200(), 0);
+        prop_assert!(!ch.can_read(0, 0, delay), "read on closed bank");
+        prop_assert!(!ch.can_precharge(0, 0, delay), "precharge on closed bank");
+        ch.activate(0, 0, row, 0);
+        prop_assert!(!ch.can_activate(0, 0, delay), "activate on open bank");
+    }
+
+    /// Refresh keeps getting issued no matter what the traffic does, and
+    /// each refresh closes every row in the rank.
+    #[test]
+    fn refresh_always_makes_progress(seed_rows in prop::collection::vec(0u32..64, 1..20)) {
+        let timing = DramTiming::ddr4_3200();
+        let mut ch = DramChannel::new(MemGeometry::tiny(), timing, 0);
+        let mut now = 0;
+        let horizon = timing.trefi * 5;
+        let mut row_iter = seed_rows.iter().cycle();
+        while now < horizon {
+            ch.maintain_refresh(now);
+            if ch.can_activate(0, 0, now) {
+                ch.activate(0, 0, *row_iter.next().expect("cycle"), now);
+            } else if ch.can_precharge(0, 0, now) {
+                ch.precharge(0, 0, now);
+            }
+            now += 1;
+        }
+        // ~5 tREFI elapsed: at least 4 refreshes must have been issued.
+        prop_assert!(ch.stats().refreshes >= 4, "refreshes {}", ch.stats().refreshes);
+    }
+}

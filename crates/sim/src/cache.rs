@@ -1,0 +1,208 @@
+//! Private per-core cache hierarchy (L1 + L2) in front of the shared LLC.
+//!
+//! The default experiments drive the memory controller with post-LLC miss
+//! streams (Table 3 reports LLC-MPKI directly), so the hierarchy is not on
+//! that path. It exists for *raw* address traces — recorded program traces
+//! (`hydra_workloads::tracefile`) or user-supplied streams — so they can be
+//! filtered down to a realistic DRAM access stream: L1 32 KB/8-way, L2
+//! 256 KB/8-way, then the shared 8 MB LLC of Table 2.
+
+use crate::llc::{LlcAccess, SharedLlc};
+use hydra_types::addr::LineAddr;
+
+/// Result of pushing an access through the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyAccess {
+    /// Cache level that hit (1, 2, 3), or `None` if the access missed
+    /// everywhere and must go to DRAM.
+    pub hit_level: Option<u8>,
+    /// A dirty line evicted from the LLC that must be written to DRAM.
+    pub dram_writeback: Option<LineAddr>,
+}
+
+/// L1 + L2 for one core, sharing an LLC owned by the caller.
+///
+/// # Example
+///
+/// ```
+/// use hydra_sim::cache::CoreCaches;
+/// use hydra_sim::SharedLlc;
+/// use hydra_types::LineAddr;
+///
+/// let mut llc = SharedLlc::isca22_baseline();
+/// let mut caches = CoreCaches::isca22_baseline();
+/// let a = LineAddr::new(42);
+/// let first = caches.access(a, false, &mut llc);
+/// assert_eq!(first.hit_level, None); // cold miss all the way to DRAM
+/// let second = caches.access(a, false, &mut llc);
+/// assert_eq!(second.hit_level, Some(1)); // now in L1
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreCaches {
+    l1: SharedLlc,
+    l2: SharedLlc,
+}
+
+impl CoreCaches {
+    /// Creates a hierarchy with the given L1/L2 capacities and
+    /// associativities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cache is too small for its associativity.
+    pub fn new(l1_bytes: usize, l1_ways: usize, l2_bytes: usize, l2_ways: usize) -> Self {
+        CoreCaches {
+            l1: SharedLlc::new(l1_bytes, l1_ways),
+            l2: SharedLlc::new(l2_bytes, l2_ways),
+        }
+    }
+
+    /// Typical per-core caches for the paper's era: 32 KB/8-way L1D,
+    /// 256 KB/8-way L2.
+    pub fn isca22_baseline() -> Self {
+        CoreCaches::new(32 * 1024, 8, 256 * 1024, 8)
+    }
+
+    /// Pushes an access through L1 → L2 → LLC. Inclusive-ish model: fills
+    /// propagate into every level; dirty evictions write through to the next
+    /// level down, and an LLC dirty eviction surfaces as a DRAM write-back.
+    pub fn access(
+        &mut self,
+        addr: LineAddr,
+        is_write: bool,
+        llc: &mut SharedLlc,
+    ) -> HierarchyAccess {
+        let l1 = self.l1.access(addr, is_write);
+        if l1.hit {
+            return HierarchyAccess {
+                hit_level: Some(1),
+                dram_writeback: None,
+            };
+        }
+        // L1 victim writes back into L2; L2 victims (from that insert or the
+        // fill below) cascade into the LLC, whose dirty victims go to DRAM.
+        let mut dram_writeback = None;
+        let mut spill_to_llc = |r: LlcAccess, llc: &mut SharedLlc| {
+            if let Some(victim) = r.writeback {
+                if let Some(dirty) = llc.access(victim, true).writeback {
+                    dram_writeback = Some(dirty);
+                }
+            }
+        };
+        if let Some(victim) = l1.writeback {
+            let r = self.l2.access(victim, true);
+            spill_to_llc(r, llc);
+        }
+        let l2 = self.l2.access(addr, is_write);
+        spill_to_llc(l2, llc);
+        if l2.hit {
+            return HierarchyAccess {
+                hit_level: Some(2),
+                dram_writeback,
+            };
+        }
+        let llc_r = llc.access(addr, is_write);
+        if let Some(dirty) = llc_r.writeback {
+            dram_writeback = Some(dirty);
+        }
+        HierarchyAccess {
+            hit_level: llc_r.hit.then_some(3),
+            dram_writeback,
+        }
+    }
+
+    /// L1 hit count.
+    pub fn l1_hits(&self) -> u64 {
+        self.l1.hits()
+    }
+
+    /// L2 hit count.
+    pub fn l2_hits(&self) -> u64 {
+        self.l2.hits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CoreCaches, SharedLlc) {
+        (CoreCaches::new(1024, 2, 4096, 2), SharedLlc::new(16 * 1024, 4))
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_then_hits_l1() {
+        let (mut c, mut llc) = setup();
+        let a = LineAddr::new(7);
+        assert_eq!(c.access(a, false, &mut llc).hit_level, None);
+        assert_eq!(c.access(a, false, &mut llc).hit_level, Some(1));
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let (mut c, mut llc) = setup();
+        // 1 KB L1, 2-way, 8 sets: lines 0, 8, 16 conflict in set 0.
+        let a = LineAddr::new(0);
+        c.access(a, false, &mut llc);
+        c.access(LineAddr::new(8), false, &mut llc);
+        c.access(LineAddr::new(16), false, &mut llc); // evicts `a` from L1
+        let r = c.access(a, false, &mut llc);
+        assert_eq!(r.hit_level, Some(2), "evicted line must hit in L2");
+    }
+
+    #[test]
+    fn llc_serves_l2_evictions() {
+        let (mut c, mut llc) = setup();
+        // Walk enough lines to overflow L2 (4 KB = 64 lines) but stay within
+        // the 16 KB LLC (256 lines).
+        for i in 0..128u64 {
+            c.access(LineAddr::new(i), false, &mut llc);
+        }
+        let r = c.access(LineAddr::new(0), false, &mut llc);
+        assert_eq!(r.hit_level, Some(3), "line 0 should only survive in the LLC");
+    }
+
+    #[test]
+    fn dirty_data_eventually_writes_back_to_dram() {
+        let (mut c, mut llc) = setup();
+        // Dirty a line, then stream enough lines to push it out of all
+        // three levels.
+        c.access(LineAddr::new(0), true, &mut llc);
+        let mut saw_writeback = false;
+        for i in 1..1500u64 {
+            let r = c.access(LineAddr::new(i), false, &mut llc);
+            if r.dram_writeback == Some(LineAddr::new(0)) {
+                saw_writeback = true;
+            }
+        }
+        assert!(saw_writeback, "dirty line must eventually write back to DRAM");
+    }
+
+    #[test]
+    fn hit_counters_accumulate() {
+        let (mut c, mut llc) = setup();
+        let a = LineAddr::new(3);
+        c.access(a, false, &mut llc);
+        c.access(a, false, &mut llc);
+        c.access(a, false, &mut llc);
+        assert_eq!(c.l1_hits(), 2);
+    }
+
+    #[test]
+    fn miss_stream_filters_repeated_lines() {
+        // The hierarchy's purpose: a looping trace over a small footprint
+        // produces almost no DRAM traffic after warmup.
+        let (mut c, mut llc) = setup();
+        let mut dram_accesses = 0;
+        for round in 0..10 {
+            for i in 0..8u64 {
+                let r = c.access(LineAddr::new(i), false, &mut llc);
+                if r.hit_level.is_none() {
+                    dram_accesses += 1;
+                    assert_eq!(round, 0, "only cold misses reach DRAM");
+                }
+            }
+        }
+        assert_eq!(dram_accesses, 8);
+    }
+}

@@ -1,0 +1,108 @@
+//! System configuration (Table 2 of the paper).
+
+use hydra_dram::DramTiming;
+use hydra_types::geometry::MemGeometry;
+use hydra_types::mitigation::MitigationPolicy;
+
+/// Full-system simulation parameters.
+///
+/// Defaults reproduce Table 2: 8 OoO cores at 3.2 GHz (2 CPU cycles per
+/// 1.6 GHz memory cycle), 160-entry ROB, fetch/retire width 4, 32 GB DDR4
+/// over 2 channels.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Memory geometry.
+    pub geometry: MemGeometry,
+    /// DRAM timing parameters.
+    pub timing: DramTiming,
+    /// Number of cores.
+    pub cores: usize,
+    /// Reorder-buffer size per core (instructions in flight past an
+    /// outstanding miss).
+    pub rob_size: u32,
+    /// Instructions retired per CPU cycle when not stalled.
+    pub fetch_width: u32,
+    /// CPU cycles per memory-controller cycle (3.2 GHz / 1.6 GHz = 2).
+    pub cpu_per_mem_cycle: u32,
+    /// Maximum outstanding misses per core (MSHRs).
+    pub max_outstanding_misses: usize,
+    /// Read-queue capacity per channel (new reads stall the core beyond it).
+    pub read_queue_capacity: usize,
+    /// Write-queue high watermark: drain writes above this.
+    pub write_drain_high: usize,
+    /// Write-queue low watermark: stop draining below this.
+    pub write_drain_low: usize,
+    /// Mitigation policy applied when a tracker requests mitigation.
+    pub mitigation: MitigationPolicy,
+    /// Instructions each core must retire before the run completes.
+    pub instructions_per_core: u64,
+}
+
+impl SystemConfig {
+    /// The paper's baseline configuration (Table 2).
+    pub fn isca22_baseline() -> Self {
+        SystemConfig {
+            geometry: MemGeometry::isca22_baseline(),
+            timing: DramTiming::ddr4_3200(),
+            cores: 8,
+            rob_size: 160,
+            fetch_width: 4,
+            cpu_per_mem_cycle: 2,
+            max_outstanding_misses: 16,
+            read_queue_capacity: 64,
+            write_drain_high: 32,
+            write_drain_low: 16,
+            mitigation: MitigationPolicy::default(),
+            instructions_per_core: 250_000_000,
+        }
+    }
+
+    /// A scaled-down configuration for experiments: the paper's geometry
+    /// and per-command timings, but the refresh/tracking window divided by
+    /// `window_scale` so a full window fits in a short run.
+    pub fn scaled(window_scale: u64) -> Self {
+        let mut c = SystemConfig::isca22_baseline();
+        c.timing = c.timing.with_scaled_window(window_scale);
+        c
+    }
+
+    /// A tiny configuration for unit tests: 2 cores on the `tiny` geometry
+    /// with a very short tracking window.
+    pub fn tiny_test() -> Self {
+        let mut c = SystemConfig::isca22_baseline();
+        c.geometry = MemGeometry::tiny();
+        c.timing = c.timing.with_scaled_window(2048); // 50 K-cycle window
+        c.cores = 2;
+        c.instructions_per_core = 50_000;
+        c
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::isca22_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = SystemConfig::isca22_baseline();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.rob_size, 160);
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.cpu_per_mem_cycle, 2);
+        assert_eq!(c.geometry.capacity_bytes(), 32 << 30);
+        assert_eq!(c.instructions_per_core, 250_000_000);
+    }
+
+    #[test]
+    fn scaled_shrinks_window_only() {
+        let c = SystemConfig::scaled(1000);
+        assert_eq!(c.timing.trc, DramTiming::ddr4_3200().trc);
+        assert!(c.timing.refresh_window < DramTiming::ddr4_3200().refresh_window);
+    }
+}

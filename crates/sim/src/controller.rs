@@ -1,0 +1,827 @@
+//! Per-channel memory controller: FR-FCFS scheduling, read priority with
+//! write drain, tracker integration, and victim-refresh mitigation.
+//!
+//! Scheduling policy (Sec. 3.1: "prioritizes read requests over write
+//! requests"):
+//!
+//! 1. **Mitigations** (victim refreshes) issue first — they are security
+//!    critical and rare.
+//! 2. **Demand reads**, FR-FCFS: the oldest row-hit read wins; otherwise the
+//!    oldest read drives activate/precharge of its bank.
+//! 3. **Writes** drain in batches between watermarks, or opportunistically
+//!    when no read is pending.
+//! 4. **Tracker side requests** (RCT/CRA counter traffic) fill in last —
+//!    the paper notes they cost bandwidth, not latency (Sec. 5.3).
+//!
+//! One command (ACT/RD/WR/PRE) issues per memory cycle per channel,
+//! approximating the command bus. Every ACT is reported to the tracker; the
+//! tracker's response enqueues victim refreshes and side traffic.
+
+use crate::config::SystemConfig;
+use crate::rowswap::RowIndirection;
+use hydra_dram::DramChannel;
+use hydra_types::addr::{LineAddr, RowAddr};
+use hydra_types::clock::MemCycle;
+use hydra_types::mitigation::MitigationPolicy;
+use hydra_types::tracker::{ActivationKind, ActivationTracker, SideRequestKind};
+use std::collections::{HashMap, VecDeque};
+
+/// Why a request is in the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A demand read from a core (latency critical).
+    DemandRead {
+        /// The issuing core.
+        core: usize,
+    },
+    /// A demand write (drained lazily).
+    DemandWrite,
+    /// A tracker metadata read (RCT / CRA counter line fetch).
+    SideRead,
+    /// A tracker metadata write-back.
+    SideWrite,
+    /// A victim-refresh activation issued as Row-Hammer mitigation.
+    VictimRefresh,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    id: u64,
+    row: RowAddr,
+    kind: RequestKind,
+    arrival: MemCycle,
+}
+
+/// A completed demand read, reported back to its core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedRead {
+    /// Request id returned by [`MemController::enqueue_read`].
+    pub id: u64,
+    /// The issuing core.
+    pub core: usize,
+    /// Cycle at which the data burst completes.
+    pub done_at: MemCycle,
+}
+
+/// Controller activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Demand reads completed.
+    pub reads_done: u64,
+    /// Demand writes completed.
+    pub writes_done: u64,
+    /// Sum of read latencies (arrival → data) in cycles.
+    pub read_latency_sum: u64,
+    /// Demand activations.
+    pub demand_acts: u64,
+    /// Rows blacklisted by rate-limit mitigation.
+    pub rate_limited_rows: u64,
+    /// Row swaps performed (row-swap mitigation).
+    pub row_swaps: u64,
+    /// Victim-refresh activations (mitigation cost).
+    pub mitigation_acts: u64,
+    /// Tracker side-request activations.
+    pub side_acts: u64,
+    /// Side reads + writes completed.
+    pub side_done: u64,
+    /// Tracking-window resets performed.
+    pub window_resets: u64,
+}
+
+impl ControllerStats {
+    /// Mean demand-read latency in cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_done == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_done as f64
+        }
+    }
+}
+
+/// One channel's memory controller.
+pub struct MemController {
+    channel_index: u8,
+    dram: DramChannel,
+    tracker: Box<dyn ActivationTracker>,
+    read_q: VecDeque<Request>,
+    write_q: VecDeque<Request>,
+    side_q: VecDeque<Request>,
+    mitigation_q: VecDeque<Request>,
+    /// Banks opened for a victim refresh, awaiting auto-precharge.
+    auto_close: Vec<(u8, u8)>,
+    draining_writes: bool,
+    next_id: u64,
+    next_window_reset: MemCycle,
+    read_capacity: usize,
+    write_capacity: usize,
+    write_high: usize,
+    write_low: usize,
+    mitigation: MitigationPolicy,
+    /// Rows barred from activation until a given cycle (rate-limit
+    /// mitigation: blacklisted until the end of the tracking window,
+    /// matching D-CBF semantics — Sec. 7.1).
+    blacklist: HashMap<RowAddr, MemCycle>,
+    /// Logical→physical row remapping (row-swap mitigation only).
+    indirection: Option<RowIndirection>,
+    stats: ControllerStats,
+}
+
+impl MemController {
+    /// Creates a controller for `channel_index` with the given tracker.
+    pub fn new(
+        config: &SystemConfig,
+        channel_index: u8,
+        tracker: Box<dyn ActivationTracker>,
+    ) -> Self {
+        MemController {
+            channel_index,
+            dram: DramChannel::new(config.geometry, config.timing, channel_index),
+            tracker,
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            side_q: VecDeque::new(),
+            mitigation_q: VecDeque::new(),
+            auto_close: Vec::new(),
+            draining_writes: false,
+            // Request ids must be unique across channels (cores key
+            // outstanding misses by id): stride by 256, offset by channel.
+            next_id: u64::from(channel_index),
+            next_window_reset: config.timing.refresh_window,
+            read_capacity: config.read_queue_capacity,
+            write_capacity: config.read_queue_capacity * 2,
+            write_high: config.write_drain_high,
+            write_low: config.write_drain_low,
+            mitigation: config.mitigation,
+            blacklist: HashMap::new(),
+            indirection: match config.mitigation {
+                MitigationPolicy::RowSwap { seed } => Some(RowIndirection::new(
+                    config.geometry,
+                    seed ^ u64::from(channel_index).wrapping_mul(0x9E37_79B9),
+                )),
+                _ => None,
+            },
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// The channel index this controller owns.
+    pub fn channel(&self) -> u8 {
+        self.channel_index
+    }
+
+    /// The DRAM channel (for power/activation counters).
+    pub fn dram(&self) -> &DramChannel {
+        &self.dram
+    }
+
+    /// The tracker driving this channel (for per-tracker statistics).
+    pub fn tracker(&self) -> &dyn ActivationTracker {
+        self.tracker.as_ref()
+    }
+
+    /// True when every queue is empty (used to drain at end of run).
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty()
+            && self.write_q.is_empty()
+            && self.side_q.is_empty()
+            && self.mitigation_q.is_empty()
+    }
+
+    /// Queues a demand read; returns its id, or `None` if the read queue is
+    /// full (the core must retry next cycle).
+    pub fn enqueue_read(&mut self, addr: LineAddr, core: usize, now: MemCycle) -> Option<u64> {
+        if self.read_q.len() >= self.read_capacity {
+            return None;
+        }
+        let logical = self.dram.geometry().row_of_line(addr);
+        let row = self
+            .indirection
+            .as_ref()
+            .map_or(logical, |i| i.physical(logical));
+        let id = self.next_id;
+        self.next_id += 256;
+        self.read_q.push_back(Request {
+            id,
+            row,
+            kind: RequestKind::DemandRead { core },
+            arrival: now,
+        });
+        Some(id)
+    }
+
+    /// Queues a demand write; returns `false` if the write queue is full.
+    pub fn enqueue_write(&mut self, addr: LineAddr, now: MemCycle) -> bool {
+        if self.write_q.len() >= self.write_capacity {
+            return false;
+        }
+        let logical = self.dram.geometry().row_of_line(addr);
+        let row = self
+            .indirection
+            .as_ref()
+            .map_or(logical, |i| i.physical(logical));
+        let id = self.next_id;
+        self.next_id += 256;
+        self.write_q.push_back(Request {
+            id,
+            row,
+            kind: RequestKind::DemandWrite,
+            arrival: now,
+        });
+        true
+    }
+
+    /// Reports an activation to the tracker and enqueues whatever mitigation
+    /// and side traffic it demands.
+    fn notify_tracker(&mut self, row: RowAddr, now: MemCycle, kind: ActivationKind) {
+        match kind {
+            ActivationKind::Demand => self.stats.demand_acts += 1,
+            ActivationKind::MitigationRefresh => self.stats.mitigation_acts += 1,
+            ActivationKind::TrackerSide => self.stats.side_acts += 1,
+        }
+        let response = self.tracker.on_activation(row, now, kind);
+        if response.is_empty() {
+            return;
+        }
+        let rows_per_bank = self.dram.geometry().rows_per_bank();
+        for m in response.mitigations {
+            match self.mitigation {
+                MitigationPolicy::VictimRefresh(radius) => {
+                    for offset in radius.offsets() {
+                        if let Some(victim) = m.aggressor.neighbor(offset, rows_per_bank) {
+                            let id = self.next_id;
+                            self.next_id += 256;
+                            self.mitigation_q.push_back(Request {
+                                id,
+                                row: victim,
+                                kind: RequestKind::VictimRefresh,
+                                arrival: now,
+                            });
+                        }
+                    }
+                }
+                MitigationPolicy::RateLimit => {
+                    // Delay mitigation: bar the aggressor from activating
+                    // until the window ends. At ultra-low thresholds this is
+                    // a denial of service for hot rows (footnote 6) — the
+                    // `delay_mitigation` bench quantifies it.
+                    self.stats.rate_limited_rows += 1;
+                    self.blacklist.insert(m.aggressor, self.next_window_reset);
+                }
+                MitigationPolicy::RowSwap { .. } => {
+                    // Migrate the (logical row behind the) aggressor to a
+                    // random physical row; charge the two full row copies as
+                    // side traffic (lines × {read,write} per row).
+                    let ind = self.indirection.as_mut().expect("RowSwap has indirection");
+                    let logical = ind.logical_of(m.aggressor);
+                    let old_phys = m.aggressor;
+                    let new_phys = ind.swap(logical);
+                    self.stats.row_swaps += 1;
+                    let lines = self.dram.geometry().lines_per_row();
+                    for _ in 0..lines {
+                        for row in [old_phys, new_phys] {
+                            let id = self.next_id;
+                            self.next_id += 256;
+                            self.side_q.push_back(Request {
+                                id,
+                                row,
+                                kind: RequestKind::SideRead,
+                                arrival: now,
+                            });
+                            let id = self.next_id;
+                            self.next_id += 256;
+                            self.side_q.push_back(Request {
+                                id,
+                                row,
+                                kind: RequestKind::SideWrite,
+                                arrival: now,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for s in response.side_requests {
+            let id = self.next_id;
+            self.next_id += 256;
+            self.side_q.push_back(Request {
+                id,
+                row: s.row,
+                kind: match s.kind {
+                    SideRequestKind::Read => RequestKind::SideRead,
+                    SideRequestKind::Write => RequestKind::SideWrite,
+                },
+                arrival: now,
+            });
+        }
+    }
+
+    /// Advances one memory cycle; returns any demand reads whose data burst
+    /// was scheduled this cycle (their `done_at` may be in the future).
+    pub fn tick(&mut self, now: MemCycle) -> Vec<CompletedRead> {
+        // Tracking-window reset (Sec. 4.6).
+        if now >= self.next_window_reset {
+            self.tracker.reset_window(now);
+            self.stats.window_resets += 1;
+            self.next_window_reset += self.dram.timing().refresh_window;
+            // Rate-limit blacklists expire with the window.
+            self.blacklist.retain(|_, &mut until| until > now);
+        }
+        self.dram.maintain_refresh(now);
+
+        // Write-drain hysteresis.
+        if self.write_q.len() >= self.write_high {
+            self.draining_writes = true;
+        } else if self.write_q.len() <= self.write_low {
+            self.draining_writes = false;
+        }
+
+        let mut completions = Vec::new();
+        if self.try_issue(now, &mut completions) {
+            return completions;
+        }
+        // Nothing issued: use the idle cycle to close victim-refresh banks.
+        self.service_auto_close(now);
+        completions
+    }
+
+    /// Attempts to issue one command, in priority order. Returns true if a
+    /// command issued.
+    fn try_issue(&mut self, now: MemCycle, completions: &mut Vec<CompletedRead>) -> bool {
+        if self.issue_mitigation(now) {
+            return true;
+        }
+        // Anti-starvation: tracker metadata traffic is off the critical path
+        // (Sec. 5.3) but must not starve behind a saturated demand stream —
+        // its bandwidth cost is precisely what the CRA experiments measure.
+        // Promote the side queue when it backs up or its head grows old.
+        let side_urgent = self.side_q.len() >= SIDE_PROMOTE_DEPTH
+            || self
+                .side_q
+                .front()
+                .is_some_and(|r| now.saturating_sub(r.arrival) >= SIDE_PROMOTE_AGE);
+        if side_urgent && self.issue_from_queue(QueueSel::Side, now, completions) {
+            return true;
+        }
+        if self.issue_from_queue(QueueSel::Read, now, completions) {
+            return true;
+        }
+        let drain = self.draining_writes || self.read_q.is_empty();
+        if drain && self.issue_from_queue(QueueSel::Write, now, completions) {
+            return true;
+        }
+        if self.issue_from_queue(QueueSel::Side, now, completions) {
+            return true;
+        }
+        false
+    }
+
+    /// Victim refresh: one ACT on the victim row (the refresh), auto-closed
+    /// later. Counting it through the tracker is the Half-Double defense.
+    fn issue_mitigation(&mut self, now: MemCycle) -> bool {
+        for i in 0..self.mitigation_q.len() {
+            let req = self.mitigation_q[i];
+            let (_, rank, bank) = (req.row.channel, req.row.rank, req.row.bank);
+            if self.dram.open_row(rank, bank).is_some() {
+                // Need the bank closed first.
+                if self.dram.can_precharge(rank, bank, now) {
+                    self.dram.precharge(rank, bank, now);
+                    return true;
+                }
+                continue;
+            }
+            if self.dram.can_activate(rank, bank, now) {
+                self.dram.activate(rank, bank, req.row.row, now);
+                self.mitigation_q.remove(i);
+                self.auto_close.push((rank, bank));
+                self.notify_tracker(req.row, now, ActivationKind::MitigationRefresh);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn service_auto_close(&mut self, now: MemCycle) {
+        for i in 0..self.auto_close.len() {
+            let (rank, bank) = self.auto_close[i];
+            if self.dram.can_precharge(rank, bank, now) {
+                self.dram.precharge(rank, bank, now);
+                self.auto_close.swap_remove(i);
+                return;
+            }
+        }
+    }
+
+    fn issue_from_queue(
+        &mut self,
+        sel: QueueSel,
+        now: MemCycle,
+        completions: &mut Vec<CompletedRead>,
+    ) -> bool {
+        // Pass 1 (FR): oldest row-hit, column-ready request. Scans are
+        // depth-capped: the side queue can grow very large under bursty
+        // metadata traffic (e.g. row-swap copies), and an O(queue) scan per
+        // cycle would melt down; the head window preserves FR-FCFS behaviour
+        // where it matters.
+        let queue = self.queue(sel);
+        let mut column_candidate = None;
+        for (i, req) in queue.iter().take(SCAN_DEPTH).enumerate() {
+            let (rank, bank) = (req.row.rank, req.row.bank);
+            if self.dram.open_row(rank, bank) == Some(req.row.row)
+                && self.dram.can_read(rank, bank, now)
+            {
+                column_candidate = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = column_candidate {
+            let req = self.queue_mut(sel).remove(i).expect("index valid");
+            let is_write = matches!(
+                req.kind,
+                RequestKind::DemandWrite | RequestKind::SideWrite
+            );
+            let done = if is_write {
+                self.dram.write(req.row.rank, req.row.bank, now)
+            } else {
+                self.dram.read(req.row.rank, req.row.bank, now)
+            };
+            match req.kind {
+                RequestKind::DemandRead { core } => {
+                    self.stats.reads_done += 1;
+                    self.stats.read_latency_sum += done - req.arrival;
+                    completions.push(CompletedRead {
+                        id: req.id,
+                        core,
+                        done_at: done,
+                    });
+                }
+                RequestKind::DemandWrite => self.stats.writes_done += 1,
+                RequestKind::SideRead | RequestKind::SideWrite => self.stats.side_done += 1,
+                RequestKind::VictimRefresh => unreachable!("mitigations have their own queue"),
+            }
+            return true;
+        }
+
+        // Pass 2 (FCFS): per bank, the oldest request drives that bank's
+        // state (activate a closed bank, or precharge a conflicting row).
+        // Younger requests to the same bank must not steal its precharge —
+        // that would serialize conflicts across banks.
+        let queue = self.queue(sel);
+        let mut seen_banks: u64 = 0;
+        for i in 0..queue.len().min(SCAN_DEPTH) {
+            let req = queue[i];
+            // Rate-limited rows may not be (re)activated; let younger
+            // requests proceed around them.
+            if self
+                .blacklist
+                .get(&req.row)
+                .is_some_and(|&until| now < until)
+            {
+                continue;
+            }
+            let (rank, bank) = (req.row.rank, req.row.bank);
+            let bank_bit = 1u64 << (u32::from(rank) * 16 + u32::from(bank)).min(63);
+            if seen_banks & bank_bit != 0 {
+                continue; // an older request owns this bank's next command
+            }
+            seen_banks |= bank_bit;
+            match self.dram.open_row(rank, bank) {
+                None => {
+                    if self.dram.can_activate(rank, bank, now) {
+                        self.dram.activate(rank, bank, req.row.row, now);
+                        let kind = match req.kind {
+                            RequestKind::SideRead | RequestKind::SideWrite => {
+                                ActivationKind::TrackerSide
+                            }
+                            _ => ActivationKind::Demand,
+                        };
+                        self.notify_tracker(req.row, now, kind);
+                        return true;
+                    }
+                }
+                Some(open) if open != req.row.row => {
+                    if self.dram.can_precharge(rank, bank, now) {
+                        self.dram.precharge(rank, bank, now);
+                        return true;
+                    }
+                }
+                _ => {} // row open, waiting on tRCD or the data bus
+            }
+        }
+        false
+    }
+
+    fn queue(&self, sel: QueueSel) -> &VecDeque<Request> {
+        match sel {
+            QueueSel::Read => &self.read_q,
+            QueueSel::Write => &self.write_q,
+            QueueSel::Side => &self.side_q,
+        }
+    }
+
+    fn queue_mut(&mut self, sel: QueueSel) -> &mut VecDeque<Request> {
+        match sel {
+            QueueSel::Read => &mut self.read_q,
+            QueueSel::Write => &mut self.write_q,
+            QueueSel::Side => &mut self.side_q,
+        }
+    }
+}
+
+/// Maximum queue entries the scheduler examines per cycle (see
+/// `issue_from_queue`).
+const SCAN_DEPTH: usize = 64;
+/// Side-queue depth beyond which metadata requests jump ahead of reads.
+const SIDE_PROMOTE_DEPTH: usize = 8;
+/// Side-request age (cycles) beyond which it jumps ahead of reads.
+const SIDE_PROMOTE_AGE: MemCycle = 256;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueSel {
+    Read,
+    Write,
+    Side,
+}
+
+impl std::fmt::Debug for MemController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemController")
+            .field("tracker", &self.tracker.name())
+            .field("read_q", &self.read_q.len())
+            .field("write_q", &self.write_q.len())
+            .field("side_q", &self.side_q.len())
+            .field("mitigation_q", &self.mitigation_q.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_types::geometry::MemGeometry;
+    use hydra_types::tracker::NullTracker;
+
+    fn controller() -> MemController {
+        let config = SystemConfig::tiny_test();
+        MemController::new(&config, 0, Box::new(NullTracker))
+    }
+
+    fn run_until_idle(c: &mut MemController, start: MemCycle) -> (Vec<CompletedRead>, MemCycle) {
+        let mut done = Vec::new();
+        let mut now = start;
+        while !c.is_idle() && now < start + 1_000_000 {
+            done.extend(c.tick(now));
+            now += 1;
+        }
+        (done, now)
+    }
+
+    #[test]
+    fn read_completes_with_act_rcd_cas_latency() {
+        let mut c = controller();
+        let geom = MemGeometry::tiny();
+        let t = *c.dram().timing();
+        let addr = geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 5), 3);
+        let id = c.enqueue_read(addr, 0, 0).unwrap();
+        let (done, _) = run_until_idle(&mut c, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        // ACT at 0 (tick 0), RD at tRCD, data at tRCD+tCAS+burst.
+        assert_eq!(done[0].done_at, t.trcd + t.tcas + t.burst);
+        assert_eq!(c.stats().demand_acts, 1);
+    }
+
+    #[test]
+    fn row_hit_skips_activation() {
+        let mut c = controller();
+        let geom = MemGeometry::tiny();
+        let row = hydra_types::RowAddr::new(0, 0, 0, 5);
+        c.enqueue_read(geom.line_of_row(row, 0), 0, 0);
+        c.enqueue_read(geom.line_of_row(row, 1), 0, 0);
+        let (done, _) = run_until_idle(&mut c, 0);
+        assert_eq!(done.len(), 2);
+        assert_eq!(c.stats().demand_acts, 1, "second read must be a row hit");
+    }
+
+    #[test]
+    fn row_conflict_precharges_and_reactivates() {
+        let mut c = controller();
+        let geom = MemGeometry::tiny();
+        c.enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 5), 0), 0, 0);
+        c.enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 9), 0), 0, 0);
+        let (done, _) = run_until_idle(&mut c, 0);
+        assert_eq!(done.len(), 2);
+        assert_eq!(c.stats().demand_acts, 2);
+        assert!(done[1].done_at > done[0].done_at);
+    }
+
+    #[test]
+    fn reads_bypass_queued_writes() {
+        let mut c = controller();
+        let geom = MemGeometry::tiny();
+        // A few writes below the drain watermark, then a read.
+        for i in 0..4u32 {
+            assert!(c.enqueue_write(
+                geom.line_of_row(hydra_types::RowAddr::new(0, 0, 1, i + 10), 0),
+                0
+            ));
+        }
+        let id = c
+            .enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 5), 0), 0, 0)
+            .unwrap();
+        let mut first_done = None;
+        let mut now = 0;
+        while first_done.is_none() && now < 100_000 {
+            for d in c.tick(now) {
+                first_done.get_or_insert(d.id);
+            }
+            now += 1;
+        }
+        assert_eq!(first_done, Some(id), "the read must finish first");
+    }
+
+    #[test]
+    fn writes_drain_when_queue_fills() {
+        let mut c = controller();
+        let geom = MemGeometry::tiny();
+        for i in 0..40u32 {
+            c.enqueue_write(geom.line_of_row(hydra_types::RowAddr::new(0, 0, (i % 4) as u8, i), 0), 0);
+        }
+        run_until_idle(&mut c, 0);
+        assert_eq!(c.stats().writes_done, 40);
+    }
+
+    #[test]
+    fn read_queue_backpressure() {
+        let mut c = controller();
+        let geom = MemGeometry::tiny();
+        let cap = SystemConfig::tiny_test().read_queue_capacity;
+        for i in 0..cap {
+            assert!(c
+                .enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, i as u32), 0), 0, 0)
+                .is_some());
+        }
+        assert!(c
+            .enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 999), 0), 0, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn window_reset_fires_every_refresh_window() {
+        let mut c = controller();
+        let window = c.dram().timing().refresh_window;
+        for now in 0..(3 * window + 2) {
+            c.tick(now);
+        }
+        assert_eq!(c.stats().window_resets, 3);
+    }
+
+    /// A tracker that mitigates on every Nth activation, to exercise the
+    /// mitigation queue.
+    struct EveryN {
+        n: u64,
+        count: u64,
+    }
+    impl ActivationTracker for EveryN {
+        fn on_activation(
+            &mut self,
+            row: RowAddr,
+            _now: MemCycle,
+            kind: ActivationKind,
+        ) -> hydra_types::TrackerResponse {
+            // Only demand ACTs trigger, so the victim refreshes themselves
+            // do not cascade in this test tracker.
+            if kind == ActivationKind::Demand {
+                self.count += 1;
+                if self.count % self.n == 0 {
+                    return hydra_types::TrackerResponse::mitigate(row);
+                }
+            }
+            hydra_types::TrackerResponse::none()
+        }
+        fn reset_window(&mut self, _now: MemCycle) {}
+        fn name(&self) -> &str {
+            "every_n"
+        }
+        fn sram_bytes(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn mitigation_refreshes_blast_radius_victims() {
+        let config = SystemConfig::tiny_test();
+        let mut c = MemController::new(&config, 0, Box::new(EveryN { n: 1, count: 0 }));
+        let geom = MemGeometry::tiny();
+        // One demand read -> one demand ACT -> mitigation with radius 2
+        // -> 4 victim-refresh ACTs.
+        c.enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 100), 0), 0, 0);
+        run_until_idle(&mut c, 0);
+        assert_eq!(c.stats().demand_acts, 1);
+        assert_eq!(c.stats().mitigation_acts, 4);
+    }
+
+    #[test]
+    fn bank_edge_clips_victims() {
+        let config = SystemConfig::tiny_test();
+        let mut c = MemController::new(&config, 0, Box::new(EveryN { n: 1, count: 0 }));
+        let geom = MemGeometry::tiny();
+        // Row 0: victims -1 and -2 do not exist -> only +1, +2 refreshed.
+        c.enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 0), 0), 0, 0);
+        run_until_idle(&mut c, 0);
+        assert_eq!(c.stats().mitigation_acts, 2);
+    }
+
+    /// Mitigates a specific row on its first activation.
+    struct BlacklistRow {
+        target: RowAddr,
+    }
+    impl ActivationTracker for BlacklistRow {
+        fn on_activation(
+            &mut self,
+            row: RowAddr,
+            _now: MemCycle,
+            _kind: ActivationKind,
+        ) -> hydra_types::TrackerResponse {
+            if row == self.target {
+                hydra_types::TrackerResponse::mitigate(row)
+            } else {
+                hydra_types::TrackerResponse::none()
+            }
+        }
+        fn reset_window(&mut self, _now: MemCycle) {}
+        fn name(&self) -> &str {
+            "blacklist_row"
+        }
+        fn sram_bytes(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn rate_limit_policy_delays_the_aggressor_until_window_end() {
+        let mut config = SystemConfig::tiny_test();
+        config.mitigation = hydra_types::mitigation::MitigationPolicy::RateLimit;
+        let window = config.timing.refresh_window;
+        let geom = MemGeometry::tiny();
+        let row = hydra_types::RowAddr::new(0, 0, 0, 100);
+        let other = hydra_types::RowAddr::new(0, 0, 0, 200);
+        let mut c = MemController::new(&config, 0, Box::new(BlacklistRow { target: row }));
+
+        // Phase 1: activate `row` once — it gets blacklisted immediately —
+        // then close it with a conflicting read.
+        c.enqueue_read(geom.line_of_row(row, 0), 0, 0);
+        let (_, now) = run_until_idle(&mut c, 0);
+        c.enqueue_read(geom.line_of_row(other, 0), 0, now);
+        let (_, mut now2) = run_until_idle(&mut c, now);
+        assert_eq!(c.stats().rate_limited_rows, 1);
+
+        // Phase 2: a new read to `row` needs a fresh ACT, which the
+        // blacklist forbids until the window resets.
+        c.enqueue_read(geom.line_of_row(row, 1), 0, now2);
+        let mut done = 0;
+        while now2 < window - 1 {
+            done += c.tick(now2).len();
+            now2 += 1;
+        }
+        assert_eq!(done, 0, "blacklisted row must not be served this window");
+        // Past the window reset: the read completes.
+        while now2 < 2 * window && !c.is_idle() {
+            done += c.tick(now2).len();
+            now2 += 1;
+        }
+        assert_eq!(done, 1, "read completes after the blacklist expires");
+    }
+
+    #[test]
+    fn row_swap_policy_migrates_the_aggressor() {
+        let mut config = SystemConfig::tiny_test();
+        config.mitigation = hydra_types::mitigation::MitigationPolicy::RowSwap { seed: 3 };
+        let geom = MemGeometry::tiny();
+        let logical = hydra_types::RowAddr::new(0, 0, 0, 100);
+        let mut c = MemController::new(&config, 0, Box::new(BlacklistRow { target: logical }));
+        // First read activates the (identity-mapped) physical row 100 and
+        // triggers the swap.
+        c.enqueue_read(geom.line_of_row(logical, 0), 0, 0);
+        let (_, now) = run_until_idle(&mut c, 0);
+        assert_eq!(c.stats().row_swaps, 1);
+        // The swap's row copies went out as side traffic.
+        assert_eq!(
+            c.stats().side_done,
+            4 * geom.lines_per_row(),
+            "two full row copies (read+write each)"
+        );
+        // A new read to the same logical row now lands on a different
+        // physical row: the tracker (keyed on the old physical row) no
+        // longer fires.
+        c.enqueue_read(geom.line_of_row(logical, 1), 0, now);
+        run_until_idle(&mut c, now);
+        assert_eq!(c.stats().row_swaps, 1, "no further swap: aggressor moved");
+    }
+}

@@ -1,0 +1,170 @@
+//! Log-scale latency histogram.
+//!
+//! The controller records every demand-read latency; percentile queries
+//! drive tail-latency reporting in the examples and extension experiments
+//! (mean latency alone hides the queueing effects that tracker side traffic
+//! introduces).
+
+use hydra_types::clock::MemCycle;
+
+/// A power-of-two-bucketed histogram of cycle counts.
+///
+/// Bucket `i` holds values in `[2^i, 2^(i+1))`; bucket 0 holds `{0, 1}`.
+///
+/// # Example
+///
+/// ```
+/// use hydra_sim::histogram::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for v in [10, 20, 30, 40, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(0.99) >= 512.0);
+/// assert!(h.percentile(0.50) <= 64.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 48],
+    count: u64,
+    sum: u64,
+    max: MemCycle,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 48],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: MemCycle) {
+        let bucket = (64 - value.max(1).leading_zeros() as usize - 1).min(47);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded value.
+    pub fn max(&self) -> MemCycle {
+        self.max
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the q-quantile. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return (1u64 << (i + 1)) as f64;
+            }
+        }
+        self.max as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn percentile_brackets_the_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 99 fast values, 1 slow.
+        for _ in 0..99 {
+            h.record(16);
+        }
+        h.record(10_000);
+        let p50 = h.percentile(0.50);
+        let p999 = h.percentile(0.999);
+        assert!(p50 <= 32.0, "p50 {p50}");
+        assert!(p999 >= 8192.0, "p999 {p999}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn zero_values_are_representable() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(1.0) >= 1.0);
+    }
+
+    #[test]
+    fn huge_values_clamp_to_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile(0.5) > 0.0);
+    }
+}

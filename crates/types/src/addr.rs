@@ -1,0 +1,194 @@
+//! Typed DRAM addresses.
+//!
+//! Two address spaces appear throughout the workspace:
+//!
+//! * [`LineAddr`] — a 64-byte cache-line address in the flat physical address
+//!   space (what the LLC and memory controller queues operate on).
+//! * [`RowAddr`] — a fully decoded DRAM coordinate: channel / rank / bank /
+//!   row. Trackers count activations at this granularity.
+//!
+//! The mapping between them is owned by [`crate::geometry::MemGeometry`].
+
+use std::fmt;
+
+/// A 64-byte cache-line address in the flat physical address space.
+///
+/// The inner value is the line *index* (byte address divided by 64), so
+/// consecutive values are adjacent lines.
+///
+/// # Example
+///
+/// ```
+/// use hydra_types::addr::LineAddr;
+/// let a = LineAddr::from_byte_addr(0x1000);
+/// assert_eq!(a.index(), 0x1000 / 64);
+/// assert_eq!(a.byte_addr(), 0x1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Bytes per cache line, fixed at 64 (Table 2 of the paper).
+    pub const LINE_BYTES: u64 = 64;
+
+    /// Creates a line address from a line index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// Creates a line address from a byte address (truncating within the line).
+    #[inline]
+    pub const fn from_byte_addr(byte: u64) -> Self {
+        LineAddr(byte / Self::LINE_BYTES)
+    }
+
+    /// The line index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of this line.
+    #[inline]
+    pub const fn byte_addr(self) -> u64 {
+        self.0 * Self::LINE_BYTES
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.byte_addr())
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(index: u64) -> Self {
+        LineAddr(index)
+    }
+}
+
+/// A fully decoded DRAM row coordinate.
+///
+/// `row` is the row index *within the bank*. Use
+/// [`crate::geometry::MemGeometry::flat_row_index`] to obtain a dense global
+/// index suitable for table lookups.
+///
+/// # Example
+///
+/// ```
+/// use hydra_types::addr::RowAddr;
+/// let r = RowAddr { channel: 1, rank: 0, bank: 7, row: 42 };
+/// assert_eq!(r.bank, 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowAddr {
+    /// Channel index.
+    pub channel: u8,
+    /// Rank index within the channel.
+    pub rank: u8,
+    /// Bank index within the rank.
+    pub bank: u8,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+impl RowAddr {
+    /// Creates a row address.
+    #[inline]
+    pub const fn new(channel: u8, rank: u8, bank: u8, row: u32) -> Self {
+        RowAddr {
+            channel,
+            rank,
+            bank,
+            row,
+        }
+    }
+
+    /// Returns the same bank coordinate with a different row, or `None` if
+    /// `row + delta` falls outside `[0, rows_per_bank)`.
+    ///
+    /// Used to compute victim-row neighbours for mitigation: the blast-radius
+    /// neighbours of an aggressor are physically adjacent rows in the same
+    /// bank.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hydra_types::addr::RowAddr;
+    /// let r = RowAddr::new(0, 0, 0, 10);
+    /// assert_eq!(r.neighbor(-1, 128).unwrap().row, 9);
+    /// assert_eq!(r.neighbor(-11, 128), None);
+    /// ```
+    #[inline]
+    pub fn neighbor(self, delta: i64, rows_per_bank: u32) -> Option<RowAddr> {
+        let target = i64::from(self.row) + delta;
+        if target < 0 || target >= i64::from(rows_per_bank) {
+            None
+        } else {
+            Some(RowAddr {
+                row: target as u32,
+                ..self
+            })
+        }
+    }
+
+    /// Returns the bank coordinate (channel, rank, bank) discarding the row.
+    #[inline]
+    pub const fn bank_coord(self) -> (u8, u8, u8) {
+        (self.channel, self.rank, self.bank)
+    }
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/rk{}/bk{}/row{}",
+            self.channel, self.rank, self.bank, self.row
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_round_trips_byte_addresses() {
+        let a = LineAddr::from_byte_addr(4096);
+        assert_eq!(a.byte_addr(), 4096);
+        assert_eq!(a.index(), 64);
+    }
+
+    #[test]
+    fn line_addr_truncates_within_line() {
+        assert_eq!(LineAddr::from_byte_addr(65), LineAddr::new(1));
+        assert_eq!(LineAddr::from_byte_addr(127), LineAddr::new(1));
+        assert_eq!(LineAddr::from_byte_addr(128), LineAddr::new(2));
+    }
+
+    #[test]
+    fn neighbor_stays_in_bank() {
+        let r = RowAddr::new(0, 0, 3, 0);
+        assert_eq!(r.neighbor(-1, 16), None);
+        assert_eq!(r.neighbor(1, 16).unwrap().row, 1);
+        let top = RowAddr::new(0, 0, 3, 15);
+        assert_eq!(top.neighbor(1, 16), None);
+        assert_eq!(top.neighbor(-2, 16).unwrap().row, 13);
+    }
+
+    #[test]
+    fn neighbor_preserves_bank_coordinates() {
+        let r = RowAddr::new(1, 0, 9, 100);
+        let n = r.neighbor(2, 1024).unwrap();
+        assert_eq!(n.bank_coord(), (1, 0, 9));
+        assert_eq!(n.row, 102);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", RowAddr::default()).is_empty());
+        assert!(!format!("{}", LineAddr::default()).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Cycle bookkeeping and time-unit conversion.
+//!
+//! All simulators in the workspace advance in *memory-controller cycles*
+//! (1.6 GHz for the paper's DDR4-3200 baseline, i.e. 0.625 ns per cycle). The
+//! CPU cores run at 3.2 GHz — exactly two CPU cycles per memory cycle — so a
+//! single clock domain suffices.
+
+/// A point in time or a duration, measured in memory-controller cycles.
+pub type MemCycle = u64;
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// Converts between wall-clock time and memory-controller cycles.
+///
+/// # Example
+///
+/// ```
+/// use hydra_types::clock::Clock;
+/// let clk = Clock::ddr4_3200();
+/// // tRC = 45 ns is 72 cycles at 1.6 GHz.
+/// assert_eq!(clk.ns_to_cycles(45.0), 72);
+/// assert!((clk.cycles_to_ns(72) - 45.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    freq_hz: f64,
+}
+
+impl Clock {
+    /// Creates a clock with the given frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not strictly positive and finite.
+    pub fn new(freq_hz: f64) -> Self {
+        assert!(
+            freq_hz.is_finite() && freq_hz > 0.0,
+            "clock frequency must be positive and finite, got {freq_hz}"
+        );
+        Clock { freq_hz }
+    }
+
+    /// The 1.6 GHz memory-controller clock of the paper's DDR4-3200 baseline
+    /// (Table 2: "Memory bus speed 1.6 GHz (3.2GHz DDR)").
+    pub fn ddr4_3200() -> Self {
+        Clock::new(1.6e9)
+    }
+
+    /// Clock frequency in hertz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// Nanoseconds per cycle.
+    pub fn period_ns(&self) -> f64 {
+        NANOS_PER_SEC as f64 / self.freq_hz
+    }
+
+    /// Converts a duration in nanoseconds to cycles, rounding up so that
+    /// timing constraints are never violated by rounding.
+    pub fn ns_to_cycles(&self, ns: f64) -> MemCycle {
+        (ns / self.period_ns()).ceil() as MemCycle
+    }
+
+    /// Converts a duration in milliseconds to cycles, rounding up.
+    pub fn ms_to_cycles(&self, ms: f64) -> MemCycle {
+        self.ns_to_cycles(ms * 1e6)
+    }
+
+    /// Converts cycles to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: MemCycle) -> f64 {
+        cycles as f64 * self.period_ns()
+    }
+
+    /// Converts cycles to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: MemCycle) -> f64 {
+        self.cycles_to_ns(cycles) / 1e6
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::ddr4_3200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_period_is_625ps() {
+        let clk = Clock::ddr4_3200();
+        assert!((clk.period_ns() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ns_conversion_rounds_up() {
+        let clk = Clock::ddr4_3200();
+        // 14 ns / 0.625 ns = 22.4 -> 23 cycles.
+        assert_eq!(clk.ns_to_cycles(14.0), 23);
+    }
+
+    #[test]
+    fn refresh_window_cycle_count() {
+        let clk = Clock::ddr4_3200();
+        // 64 ms at 1.6 GHz = 102.4 M cycles.
+        assert_eq!(clk.ms_to_cycles(64.0), 102_400_000);
+    }
+
+    #[test]
+    fn round_trip_is_consistent() {
+        let clk = Clock::ddr4_3200();
+        let cycles = clk.ms_to_cycles(1.0);
+        assert!((clk.cycles_to_ms(cycles) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = Clock::new(0.0);
+    }
+}

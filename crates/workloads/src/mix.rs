@@ -1,0 +1,179 @@
+//! Multiprogrammed workload mixes.
+//!
+//! The paper runs workloads in *rate mode* (every core runs the same
+//! workload, Sec. 3.2); real systems also care about heterogeneous mixes —
+//! e.g. a memory-hog next to latency-sensitive code, or an attacker thread
+//! next to victims. A [`WorkloadMix`] names a set of specs and hands each
+//! core its own generator.
+
+use crate::spec::WorkloadSpec;
+use crate::synth::SyntheticTrace;
+use crate::{registry, AttackPattern, AttackTrace, TraceOp, TraceSource};
+use hydra_types::error::ConfigError;
+use hydra_types::geometry::MemGeometry;
+
+/// What one core of a mix runs.
+#[derive(Debug, Clone)]
+pub enum MixSlot {
+    /// A registered workload.
+    Workload(&'static WorkloadSpec),
+    /// A Row-Hammer attack pattern (an attacker thread among victims).
+    Attack(AttackPattern),
+}
+
+/// A named multiprogrammed mix, one slot per core (cores beyond the slot
+/// count wrap around).
+///
+/// # Example
+///
+/// ```
+/// use hydra_workloads::mix::WorkloadMix;
+/// use hydra_workloads::TraceSource;
+/// use hydra_types::MemGeometry;
+///
+/// let mix = WorkloadMix::by_names("hog_vs_latency", &["mcf", "leela"])?;
+/// let geom = MemGeometry::isca22_baseline();
+/// let mut core0 = mix.build(geom, 0, 256, 42);
+/// let mut core1 = mix.build(geom, 1, 256, 42);
+/// assert_eq!(core0.name(), "mcf");
+/// assert_eq!(core1.name(), "leela");
+/// # Ok::<(), hydra_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    name: String,
+    slots: Vec<MixSlot>,
+}
+
+/// A trace source produced by a mix slot.
+#[derive(Debug)]
+pub enum MixTrace {
+    /// Synthetic workload generator.
+    Workload(SyntheticTrace),
+    /// Attack stream.
+    Attack(AttackTrace),
+}
+
+impl TraceSource for MixTrace {
+    fn next_op(&mut self) -> TraceOp {
+        match self {
+            MixTrace::Workload(t) => t.next_op(),
+            MixTrace::Attack(t) => t.next_op(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            MixTrace::Workload(t) => t.name(),
+            MixTrace::Attack(t) => t.name(),
+        }
+    }
+}
+
+impl WorkloadMix {
+    /// Creates a mix from explicit slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `slots` is empty.
+    pub fn new(name: impl Into<String>, slots: Vec<MixSlot>) -> Result<Self, ConfigError> {
+        if slots.is_empty() {
+            return Err(ConfigError::new("a mix needs at least one slot"));
+        }
+        Ok(WorkloadMix {
+            name: name.into(),
+            slots,
+        })
+    }
+
+    /// Creates a mix of registered workloads by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an empty list or an unknown name.
+    pub fn by_names(name: impl Into<String>, names: &[&str]) -> Result<Self, ConfigError> {
+        let slots = names
+            .iter()
+            .map(|n| {
+                registry::by_name(n)
+                    .map(MixSlot::Workload)
+                    .ok_or_else(|| ConfigError::new(format!("unknown workload {n}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        WorkloadMix::new(name, slots)
+    }
+
+    /// The mix's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Builds the trace for `core` (slots wrap around).
+    pub fn build(&self, geometry: MemGeometry, core: usize, scale: u64, seed: u64) -> MixTrace {
+        match &self.slots[core % self.slots.len()] {
+            MixSlot::Workload(spec) => MixTrace::Workload(spec.build(
+                geometry,
+                scale,
+                seed ^ (core as u64).wrapping_mul(0x9E37_79B9),
+            )),
+            MixSlot::Attack(pattern) => MixTrace::Attack(pattern.trace(geometry)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_types::RowAddr;
+
+    #[test]
+    fn slots_wrap_around_cores() {
+        let mix = WorkloadMix::by_names("m", &["mcf", "gups"]).unwrap();
+        let geom = MemGeometry::isca22_baseline();
+        assert_eq!(mix.build(geom, 0, 64, 1).name(), "mcf");
+        assert_eq!(mix.build(geom, 1, 64, 1).name(), "gups");
+        assert_eq!(mix.build(geom, 2, 64, 1).name(), "mcf");
+        assert_eq!(mix.slots(), 2);
+    }
+
+    #[test]
+    fn attacker_among_victims() {
+        let victim = RowAddr::new(0, 0, 0, 100);
+        let mix = WorkloadMix::new(
+            "attack_mix",
+            vec![
+                MixSlot::Attack(AttackPattern::DoubleSided { victim }),
+                MixSlot::Workload(registry::by_name("leela").unwrap()),
+            ],
+        )
+        .unwrap();
+        let geom = MemGeometry::isca22_baseline();
+        let mut attacker = mix.build(geom, 0, 64, 1);
+        assert_eq!(attacker.name(), "double_sided");
+        let op = attacker.next_op();
+        let row = geom.row_of_line(op.addr);
+        assert!(row.row == 99 || row.row == 101);
+    }
+
+    #[test]
+    fn rejects_empty_and_unknown() {
+        assert!(WorkloadMix::new("x", vec![]).is_err());
+        assert!(WorkloadMix::by_names("x", &["nonesuch"]).is_err());
+    }
+
+    #[test]
+    fn per_core_seeds_differ() {
+        let mix = WorkloadMix::by_names("m", &["gups"]).unwrap();
+        let geom = MemGeometry::isca22_baseline();
+        let mut a = mix.build(geom, 0, 64, 1);
+        let mut b = mix.build(geom, 2, 64, 1); // wraps to the same spec
+        let ops_a: Vec<TraceOp> = (0..32).map(|_| a.next_op()).collect();
+        let ops_b: Vec<TraceOp> = (0..32).map(|_| b.next_op()).collect();
+        assert_ne!(ops_a, ops_b, "different cores must get different streams");
+    }
+}

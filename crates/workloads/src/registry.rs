@@ -1,0 +1,134 @@
+//! The 36 workloads of the paper's evaluation (Table 3), as generator specs.
+//!
+//! `mpki`, `unique_rows`, `act250_rows` and `acts_per_row` are transcribed
+//! verbatim from Table 3. `burst` (row-buffer locality), `write_frac` and
+//! `theta` (cold-set skew) are modelling choices: streaming kernels get long
+//! bursts, pointer-chasing and graph codes get short ones, and workloads
+//! with a large ACT-250+ population get a skewed cold set.
+
+use crate::spec::{Suite, WorkloadSpec};
+
+macro_rules! w {
+    ($name:literal, $suite:expr, $mpki:expr, $rows:expr, $hot:expr, $apr:expr, $burst:expr, $wf:expr, $theta:expr) => {
+        WorkloadSpec {
+            name: $name,
+            suite: $suite,
+            mpki: $mpki,
+            unique_rows: $rows,
+            act250_rows: $hot,
+            acts_per_row: $apr,
+            burst: $burst,
+            write_frac: $wf,
+            theta: $theta,
+        }
+    };
+}
+
+/// All 36 workloads in the paper's figure order.
+pub const ALL: [WorkloadSpec; 36] = [
+    // SPEC CPU2017 (22)
+    w!("bwaves", Suite::Spec2017, 39.6, 77_900, 0, 38.6, 8.0, 0.25, 0.3),
+    w!("parest", Suite::Spec2017, 27.6, 13_800, 5_882, 237.0, 2.0, 0.30, 0.8),
+    w!("fotonik3d", Suite::Spec2017, 25.9, 212_000, 0, 17.5, 4.0, 0.30, 0.2),
+    w!("lbm", Suite::Spec2017, 25.6, 41_800, 0, 82.1, 8.0, 0.45, 0.3),
+    w!("mcf", Suite::Spec2017, 20.8, 112_000, 0, 28.8, 1.0, 0.25, 0.4),
+    w!("omnetpp", Suite::Spec2017, 9.75, 312_000, 195, 10.7, 1.0, 0.30, 0.4),
+    w!("roms", Suite::Spec2017, 9.15, 115_000, 1_169, 22.9, 4.0, 0.30, 0.6),
+    w!("xz", Suite::Spec2017, 5.87, 102_000, 1_755, 26.4, 2.0, 0.35, 0.7),
+    w!("cam4", Suite::Spec2017, 3.23, 45_500, 5, 54.1, 4.0, 0.30, 0.4),
+    w!("cactuBSSN", Suite::Spec2017, 3.20, 24_600, 4_609, 107.0, 2.0, 0.35, 0.8),
+    w!("xalancbmk", Suite::Spec2017, 1.61, 60_800, 0, 49.8, 1.0, 0.25, 0.5),
+    w!("blender", Suite::Spec2017, 1.52, 52_400, 2_288, 58.7, 2.0, 0.30, 0.7),
+    w!("gcc", Suite::Spec2017, 0.65, 144_000, 159, 18.0, 2.0, 0.30, 0.4),
+    w!("nab", Suite::Spec2017, 0.61, 61_900, 0, 31.9, 4.0, 0.30, 0.3),
+    w!("deepsjeng", Suite::Spec2017, 0.29, 802_000, 0, 1.78, 1.0, 0.30, 0.0),
+    w!("x264", Suite::Spec2017, 0.28, 25_000, 0, 34.0, 4.0, 0.35, 0.4),
+    w!("wrf", Suite::Spec2017, 0.27, 19_300, 18, 20.9, 4.0, 0.30, 0.4),
+    w!("namd", Suite::Spec2017, 0.26, 24_700, 0, 34.9, 4.0, 0.30, 0.3),
+    w!("imagick", Suite::Spec2017, 0.16, 10_700, 0, 19.1, 4.0, 0.30, 0.3),
+    w!("perlbench", Suite::Spec2017, 0.09, 25_600, 0, 5.88, 2.0, 0.30, 0.2),
+    w!("leela", Suite::Spec2017, 0.03, 720, 0, 2.68, 1.0, 0.30, 0.2),
+    w!("povray", Suite::Spec2017, 0.03, 500, 0, 2.28, 1.0, 0.30, 0.2),
+    // PARSEC (7)
+    w!("face", Suite::Parsec, 13.2, 49_300, 171, 42.5, 4.0, 0.30, 0.6),
+    w!("ferret", Suite::Parsec, 4.93, 48_600, 1_206, 47.6, 2.0, 0.30, 0.7),
+    w!("stream", Suite::Parsec, 4.51, 43_300, 997, 36.8, 8.0, 0.40, 0.6),
+    w!("swapt", Suite::Parsec, 4.14, 43_200, 1_023, 38.4, 4.0, 0.30, 0.6),
+    w!("black", Suite::Parsec, 4.12, 48_800, 937, 36.2, 4.0, 0.30, 0.6),
+    w!("freq", Suite::Parsec, 3.65, 56_500, 1_213, 34.9, 4.0, 0.30, 0.6),
+    w!("fluid", Suite::Parsec, 2.41, 90_800, 858, 26.0, 4.0, 0.30, 0.6),
+    // GAP (6)
+    w!("bc_t", Suite::Gap, 84.6, 231_000, 9, 13.9, 1.0, 0.20, 0.4),
+    w!("bc_w", Suite::Gap, 58.3, 129_000, 0, 18.2, 1.0, 0.20, 0.4),
+    w!("cc_t", Suite::Gap, 43.5, 192_000, 0, 16.7, 1.0, 0.20, 0.4),
+    w!("pr_t", Suite::Gap, 30.0, 113_000, 0, 18.2, 1.0, 0.20, 0.4),
+    w!("pr_w", Suite::Gap, 28.6, 98_700, 0, 19.5, 1.0, 0.20, 0.4),
+    w!("cc_w", Suite::Gap, 16.9, 93_200, 0, 16.6, 1.0, 0.20, 0.4),
+    // GUPS (1)
+    w!("gups", Suite::Gups, 3.85, 69_100, 0, 31.4, 1.0, 0.50, 0.0),
+];
+
+/// Looks a workload up by its (case-insensitive) figure name.
+pub fn by_name(name: &str) -> Option<&'static WorkloadSpec> {
+    ALL.iter().find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+/// All workloads belonging to `suite`, in figure order.
+pub fn by_suite(suite: Suite) -> impl Iterator<Item = &'static WorkloadSpec> {
+    ALL.iter().filter(move |w| w.suite == suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_36_workloads() {
+        assert_eq!(ALL.len(), 36);
+    }
+
+    #[test]
+    fn suite_counts_match_paper() {
+        assert_eq!(by_suite(Suite::Spec2017).count(), 22);
+        assert_eq!(by_suite(Suite::Parsec).count(), 7);
+        assert_eq!(by_suite(Suite::Gap).count(), 6);
+        assert_eq!(by_suite(Suite::Gups).count(), 1);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_name("GUPS").is_some());
+        assert!(by_name("cactubssn").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for (i, a) in ALL.iter().enumerate() {
+            for b in &ALL[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_extremes_present() {
+        // deepsjeng touches the most rows; parest has the most hot rows.
+        let deep = by_name("deepsjeng").unwrap();
+        assert!(ALL.iter().all(|w| w.unique_rows <= deep.unique_rows));
+        let parest = by_name("parest").unwrap();
+        assert!(ALL.iter().all(|w| w.act250_rows <= parest.act250_rows));
+    }
+
+    #[test]
+    fn all_specs_are_sane() {
+        for w in &ALL {
+            assert!(w.mpki > 0.0, "{}", w.name);
+            assert!(w.unique_rows > 0, "{}", w.name);
+            assert!(w.acts_per_row > 0.0, "{}", w.name);
+            assert!(w.burst >= 1.0, "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.write_frac), "{}", w.name);
+            assert!(w.act250_rows <= w.unique_rows, "{}", w.name);
+        }
+    }
+}

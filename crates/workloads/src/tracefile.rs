@@ -1,0 +1,236 @@
+//! Trace capture and replay: a plain-text trace-file format.
+//!
+//! Lets users record a generator's (or their own tool's) memory-access
+//! stream and replay it deterministically — e.g. to pin down a workload for
+//! regression experiments, or to import traces produced outside this crate.
+//!
+//! Format: one operation per line, `<gap> <byte-address-hex> <R|W>`:
+//!
+//! ```text
+//! # hydra trace v1
+//! 12 0x7f3a40 R
+//! 0 0x7f3a80 W
+//! ```
+//!
+//! Lines starting with `#` are comments. Replay wraps around at EOF so the
+//! source is endless like every other [`TraceSource`].
+
+use crate::trace::{TraceOp, TraceSource};
+use hydra_types::addr::LineAddr;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Header comment written at the top of every trace file.
+pub const HEADER: &str = "# hydra trace v1";
+
+/// Writes operations to a trace file.
+///
+/// # Example
+///
+/// ```
+/// use hydra_workloads::tracefile::{TraceWriter, TraceFile};
+/// use hydra_workloads::trace::{TraceOp, TraceSource};
+/// use hydra_types::LineAddr;
+///
+/// let mut buf = Vec::new();
+/// let mut w = TraceWriter::new(&mut buf)?;
+/// w.write_op(TraceOp::read(3, LineAddr::new(16)))?;
+/// w.write_op(TraceOp::write(0, LineAddr::new(17)))?;
+/// drop(w);
+///
+/// let mut t = TraceFile::parse("replayed", &buf[..])?;
+/// assert_eq!(t.next_op(), TraceOp::read(3, LineAddr::new(16)));
+/// assert_eq!(t.next_op(), TraceOp::write(0, LineAddr::new(17)));
+/// assert_eq!(t.next_op(), TraceOp::read(3, LineAddr::new(16))); // wraps
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    ops: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        writeln!(sink, "{HEADER}")?;
+        Ok(TraceWriter { sink, ops: 0 })
+    }
+
+    /// Appends one operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_op(&mut self, op: TraceOp) -> io::Result<()> {
+        writeln!(
+            self.sink,
+            "{} {:#x} {}",
+            op.gap,
+            op.addr.byte_addr(),
+            if op.is_write { 'W' } else { 'R' }
+        )?;
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// Records `n` operations pulled from `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn record<S: TraceSource>(&mut self, source: &mut S, n: u64) -> io::Result<()> {
+        for _ in 0..n {
+            self.write_op(source.next_op())?;
+        }
+        Ok(())
+    }
+
+    /// Operations written so far.
+    pub fn ops_written(&self) -> u64 {
+        self.ops
+    }
+}
+
+/// A parsed, endlessly replaying trace file.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    name: String,
+    ops: Vec<TraceOp>,
+    cursor: usize,
+}
+
+impl TraceFile {
+    /// Parses a trace from any reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed lines and propagates I/O errors;
+    /// an empty trace (no operations) is also `InvalidData`.
+    pub fn parse<R: Read>(name: impl Into<String>, reader: R) -> io::Result<Self> {
+        let mut ops = Vec::new();
+        for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            let parse_err = |what: &str| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad {what}: {trimmed}", lineno + 1),
+                )
+            };
+            let gap: u32 = fields
+                .next()
+                .ok_or_else(|| parse_err("gap"))?
+                .parse()
+                .map_err(|_| parse_err("gap"))?;
+            let addr_str = fields.next().ok_or_else(|| parse_err("address"))?;
+            let byte = u64::from_str_radix(addr_str.trim_start_matches("0x"), 16)
+                .map_err(|_| parse_err("address"))?;
+            let is_write = match fields.next().ok_or_else(|| parse_err("direction"))? {
+                "R" | "r" => false,
+                "W" | "w" => true,
+                _ => return Err(parse_err("direction")),
+            };
+            ops.push(TraceOp {
+                gap,
+                addr: LineAddr::from_byte_addr(byte),
+                is_write,
+            });
+        }
+        if ops.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trace contains no operations",
+            ));
+        }
+        Ok(TraceFile {
+            name: name.into(),
+            ops,
+            cursor: 0,
+        })
+    }
+
+    /// Number of distinct operations in the file (before wrapping).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Never true: parsing rejects empty traces.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl TraceSource for TraceFile {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.cursor];
+        self.cursor = (self.cursor + 1) % self.ops.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+    use hydra_types::MemGeometry;
+
+    #[test]
+    fn round_trip_preserves_ops() {
+        let geom = MemGeometry::isca22_baseline();
+        let spec = registry::by_name("mcf").unwrap();
+        let mut gen_a = spec.build(geom, 128, 5);
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        w.record(&mut gen_a, 500).unwrap();
+        assert_eq!(w.ops_written(), 500);
+        drop(w);
+
+        let mut replay = TraceFile::parse("mcf-replay", &buf[..]).unwrap();
+        assert_eq!(replay.len(), 500);
+        let mut gen_b = spec.build(geom, 128, 5);
+        for _ in 0..500 {
+            assert_eq!(replay.next_op(), gen_b.next_op());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# hydra trace v1\n\n# comment\n5 0x100 R\n";
+        let mut t = TraceFile::parse("t", text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.next_op(), TraceOp::read(5, LineAddr::from_byte_addr(0x100)));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in ["x 0x100 R\n", "5 zzz R\n", "5 0x100 Q\n", "5 0x100\n"] {
+            let text = format!("{HEADER}\n{bad}");
+            assert!(TraceFile::parse("t", text.as_bytes()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_rejected() {
+        assert!(TraceFile::parse("t", HEADER.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn lowercase_directions_accepted() {
+        let text = "1 0x40 r\n2 0x80 w\n";
+        let mut t = TraceFile::parse("t", text.as_bytes()).unwrap();
+        assert!(!t.next_op().is_write);
+        assert!(t.next_op().is_write);
+    }
+}

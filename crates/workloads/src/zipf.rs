@@ -1,0 +1,127 @@
+//! A seeded Zipf sampler over `[0, n)`.
+//!
+//! Used by the synthetic generators to model the skewed row popularity of
+//! real workloads (a few rows absorb most activations — the observation
+//! Hydra's GCT exploits, Sec. 4.2). Sampling is O(log n) via binary search
+//! over the precomputed CDF.
+
+use rand::Rng;
+
+/// Zipf distribution with exponent `theta` over `n` items: item `k` has
+/// weight `1 / (k+1)^theta`.
+///
+/// # Example
+///
+/// ```
+/// use hydra_workloads::Zipf;
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(theta >= 0.0 && theta.is_finite(), "bad theta {theta}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the support is empty (never: `new` rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws an item index in `[0, n)`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(100, 0.8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn high_theta_skews_to_head() {
+        let zipf = Zipf::new(1000, 1.2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let head = (0..100_000)
+            .filter(|_| zipf.sample(&mut rng) < 10)
+            .count();
+        assert!(head > 50_000, "head share {head}");
+    }
+
+    #[test]
+    fn skew_orders_items_by_rank() {
+        let zipf = Zipf::new(50, 0.9);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0u32; 50];
+        for _ in 0..200_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[49]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests on the workload generators: address validity, seed
+//! determinism, footprint bounds, and attack-pattern invariants — for every
+//! registered workload, not just samples.
+
+use hydra_types::{MemGeometry, RowAddr};
+use hydra_workloads::{registry, AttackPattern, TraceSource};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any workload at any scale/seed emits only valid addresses and is
+    /// reproducible from its seed.
+    #[test]
+    fn generators_are_valid_and_deterministic(
+        workload_index in 0usize..36,
+        scale in prop::sample::select(vec![16u64, 64, 256, 1024]),
+        seed in 0u64..1000,
+    ) {
+        let geom = MemGeometry::isca22_baseline();
+        let spec = &registry::ALL[workload_index];
+        let mut a = spec.build(geom, scale, seed);
+        let mut b = spec.build(geom, scale, seed);
+        for _ in 0..200 {
+            let op_a = a.next_op();
+            let op_b = b.next_op();
+            prop_assert_eq!(op_a, op_b);
+            prop_assert!(op_a.addr.index() < geom.total_lines());
+        }
+    }
+
+    /// Footprints shrink as the scale grows (time compression).
+    #[test]
+    fn scaling_shrinks_footprints(workload_index in 0usize..36) {
+        let geom = MemGeometry::isca22_baseline();
+        let spec = &registry::ALL[workload_index];
+        let small = spec.build(geom, 1024, 1);
+        let large = spec.build(geom, 16, 1);
+        prop_assert!(small.footprint_rows() <= large.footprint_rows());
+        prop_assert!(small.hot_rows() <= large.hot_rows());
+    }
+
+    /// Double-sided never touches the victim; only its two neighbours.
+    #[test]
+    fn double_sided_spares_the_victim(row in 2u32..1000) {
+        let geom = MemGeometry::tiny();
+        let victim = RowAddr::new(0, 0, 0, row);
+        let mut rows = AttackPattern::DoubleSided { victim }.rows(geom);
+        for _ in 0..100 {
+            let r = rows.next_row();
+            prop_assert_ne!(r, victim);
+            prop_assert!(r.row == row - 1 || r.row == row + 1);
+        }
+    }
+
+    /// Half-Double touches only rows within distance 2 of the victim.
+    #[test]
+    fn half_double_stays_in_blast_radius(row in 4u32..1000, ratio in 1u32..32) {
+        let geom = MemGeometry::tiny();
+        let victim = RowAddr::new(0, 0, 1, row);
+        let mut rows = AttackPattern::HalfDouble { victim, ratio }.rows(geom);
+        for _ in 0..200 {
+            let r = rows.next_row();
+            let d = (i64::from(r.row) - i64::from(row)).abs();
+            prop_assert!((1..=2).contains(&d), "distance {d}");
+        }
+    }
+
+    /// Many-sided cycles exactly `n` distinct aggressors.
+    #[test]
+    fn many_sided_cycles_n_rows(n in 2u32..32) {
+        let geom = MemGeometry::tiny();
+        let first = RowAddr::new(0, 0, 0, 10);
+        let mut rows = AttackPattern::ManySided { first, n }.rows(geom);
+        let seen: HashSet<u32> = (0..(n * 4)).map(|_| rows.next_row().row).collect();
+        prop_assert_eq!(seen.len() as u32, n);
+    }
+}
+
+#[test]
+fn every_workload_reaches_its_hot_rows() {
+    // Each workload with a nonzero ACT-250+ population must actually
+    // concentrate accesses on its hot set.
+    let geom = MemGeometry::isca22_baseline();
+    for spec in registry::ALL.iter().filter(|w| w.act250_rows > 0) {
+        let mut t = spec.build(geom, 64, 3);
+        assert!(t.hot_rows() > 0, "{}", spec.name);
+        let mut rows: HashSet<RowAddr> = HashSet::new();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            let row = geom.row_of_line(t.next_op().addr);
+            rows.insert(row);
+            *counts.entry(row).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let mean = 100_000 / rows.len().max(1) as u32;
+        assert!(
+            max > mean * 3,
+            "{}: hottest row ({max}) should stand out from the mean ({mean})",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build the paper's default Hydra tracker, hammer a row, and
+//! watch the three heads (GCT → RCC → RCT) engage.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hydra_repro::core::{Hydra, HydraStorage};
+use hydra_repro::types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's 32 GB DDR4 baseline: 2 channels x 1 rank x 16 banks,
+    // 8 KB rows (Table 2).
+    let geom = MemGeometry::isca22_baseline();
+    println!("memory geometry : {} GB, {} rows of {} KB",
+        geom.capacity_bytes() >> 30, geom.total_rows(), geom.row_bytes() / 1024);
+
+    // One Hydra instance per channel; T_H = 250, T_G = 200 for T_RH = 500.
+    let mut hydra = Hydra::isca22_default(geom, 0)?;
+    let storage = HydraStorage::for_system(hydra.config(), geom.channels() as u32);
+    println!(
+        "hydra storage   : GCT {} KB + RCC {} KB + RIT {} B = {:.1} KB SRAM, {} MB DRAM",
+        storage.gct_bytes / 1024,
+        storage.rcc_bytes / 1024,
+        storage.rit_bytes,
+        storage.total_sram_bytes() as f64 / 1024.0,
+        storage.rct_dram_bytes >> 20,
+    );
+
+    // Hammer one row; Hydra must mitigate at (or before) every T_H = 250
+    // activations.
+    let aggressor = RowAddr::new(0, 0, 3, 12_345);
+    let mut mitigated_at = Vec::new();
+    for i in 1..=1000u32 {
+        let response = hydra.on_activation(aggressor, u64::from(i), ActivationKind::Demand);
+        if !response.mitigations.is_empty() {
+            mitigated_at.push(i);
+        }
+    }
+    println!("hammering {aggressor} 1000 times -> mitigations at ACTs {mitigated_at:?}");
+
+    let stats = hydra.stats();
+    println!(
+        "update breakdown: GCT-only {:.1}%, RCC-hit {:.1}%, RCT-access {:.2}%",
+        stats.gct_only_fraction() * 100.0,
+        stats.rcc_hit_fraction() * 100.0,
+        stats.rct_access_fraction() * 100.0,
+    );
+    println!(
+        "side traffic    : {} DRAM reads + {} writes (group spills + RCC fills/evictions)",
+        stats.side_reads, stats.side_writes
+    );
+
+    assert_eq!(mitigated_at, vec![250, 500, 750, 1000]);
+    println!("\nTheorem-1 in action: one mitigation per T_H activations. OK");
+    Ok(())
+}

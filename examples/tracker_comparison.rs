@@ -1,0 +1,75 @@
+//! Tracker comparison: run a few representative workloads through the full
+//! cycle-level simulator under the non-secure baseline, Graphene, CRA and
+//! Hydra, and print normalized performance — a miniature Figure 5.
+//!
+//! Run with: `cargo run --release --example tracker_comparison`
+
+use hydra_repro::baselines::{Cra, CraConfig, Graphene, GrapheneConfig};
+use hydra_repro::core::{Hydra, HydraConfig};
+use hydra_repro::sim::{SystemConfig, SystemSim};
+use hydra_repro::types::tracker::{ActivationTracker, NullTracker};
+use hydra_repro::types::MemGeometry;
+use hydra_repro::workloads::registry;
+
+/// Time-compression factor (see DESIGN.md): footprints, structures and the
+/// tracking window all shrink by S; thresholds stay at paper values.
+const S: u64 = 256;
+const INSTRUCTIONS: u64 = 100_000;
+
+fn tracker(kind: &str, geom: MemGeometry, channel: u8) -> Box<dyn ActivationTracker> {
+    match kind {
+        "baseline" => Box::new(NullTracker),
+        "graphene" => {
+            let act_max = 1_360_000 / S;
+            Box::new(Graphene::new(
+                GrapheneConfig::for_threshold(geom, channel, 500, act_max).expect("graphene"),
+            ))
+        }
+        "cra" => Box::new(
+            Cra::new(CraConfig::for_threshold(geom, channel, 500, (64 * 1024 / S as usize).max(1024)).expect("cra config"))
+                .expect("cra"),
+        ),
+        "hydra" => {
+            let channels = usize::from(geom.channels());
+            let mut b = HydraConfig::builder(geom, channel);
+            b.thresholds(250, 200)
+                .gct_entries(((32_768 / channels) as u64 / S).next_power_of_two() as usize)
+                .rcc_entries(((8_192 / channels) as u64 / S).max(8).next_power_of_two() as usize);
+            Box::new(Hydra::new(b.build().expect("config")).expect("hydra"))
+        }
+        other => panic!("unknown tracker {other}"),
+    }
+}
+
+fn main() {
+    let mut config = SystemConfig::scaled(S);
+    config.instructions_per_core = INSTRUCTIONS;
+    let geom = config.geometry;
+
+    let workloads = ["mcf", "parest", "gups", "stream", "leela"];
+    println!(
+        "Normalized performance vs non-secure baseline (S={S}, {INSTRUCTIONS} instrs/core):\n"
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "workload", "graphene", "cra-64KB", "hydra"
+    );
+    println!("{}", "-".repeat(44));
+
+    for name in workloads {
+        let spec = registry::by_name(name).expect("registered workload");
+        let run = |kind: &'static str| {
+            let mut sim = SystemSim::new(config.clone(), |core| {
+                spec.build(geom, S, 42 ^ core as u64)
+            })
+            .with_trackers(|ch| tracker(kind, geom, ch));
+            sim.run()
+        };
+        let baseline = run("baseline");
+        let graphene = run("graphene").normalized_to(&baseline);
+        let cra = run("cra").normalized_to(&baseline);
+        let hydra = run("hydra").normalized_to(&baseline);
+        println!("{name:<10} {graphene:>10.3} {cra:>10.3} {hydra:>10.3}");
+    }
+    println!("\nExpected shape (paper Fig. 5): graphene ~ 1.0, hydra ~ 0.99, cra clearly lower.");
+}

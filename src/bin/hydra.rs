@@ -1,0 +1,216 @@
+//! `hydra` — command-line front end for the reproduction library.
+//!
+//! ```text
+//! hydra storage                         # Tables 1/4/5 summary
+//! hydra characterize gups [S]           # Table-3-style stats for a workload
+//! hydra audit double_sided [ACTS]       # Theorem-1 audit of one pattern
+//! hydra record mcf N out.trace [S]      # record a trace file
+//! hydra hammer ROW [ACTS]               # hammer one row, print mitigations
+//! hydra list                            # list the 36 workloads
+//! ```
+
+use hydra_repro::baselines::storage::{Scheme, DDR4_BANKS_PER_RANK};
+use hydra_repro::core::{Hydra, HydraConfig, HydraStorage};
+use hydra_repro::sim::ActivationSim;
+use hydra_repro::types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
+use hydra_repro::workloads::{registry, AttackPattern, TraceSource, TraceWriter};
+use std::collections::{HashMap, HashSet};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("storage") => cmd_storage(),
+        Some("list") => cmd_list(),
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("hammer") => cmd_hammer(&args[1..]),
+        _ => {
+            eprintln!("usage: hydra <storage|list|characterize|audit|record|hammer> [args]");
+            eprintln!("  storage                      print the paper's storage tables");
+            eprintln!("  list                         list the 36 registered workloads");
+            eprintln!("  characterize <workload> [S]  Table-3 stats from the generator");
+            eprintln!("  audit <pattern> [acts]       Theorem-1 audit (single_sided,");
+            eprintln!("                               double_sided, many_sided, half_double, thrash)");
+            eprintln!("  record <workload> <n> <file> [S]  record a trace file");
+            eprintln!("  hammer <row> [acts]          hammer one row through Hydra");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_storage() -> Result<(), String> {
+    let geom = MemGeometry::isca22_baseline();
+    let config = HydraConfig::isca22_default(geom, 0).map_err(|e| e.to_string())?;
+    let storage = HydraStorage::for_system(&config, u32::from(geom.channels()));
+    println!("Hydra (32 GB system): GCT {} KB + RCC {} KB + RIT-ACT {} B",
+        storage.gct_bytes / 1024, storage.rcc_bytes / 1024, storage.rit_bytes);
+    println!("  total SRAM {:.1} KB; in-DRAM RCT {} MB\n",
+        storage.total_sram_bytes() as f64 / 1024.0,
+        storage.rct_dram_bytes >> 20);
+    println!("Prior schemes, per 16 GB rank:");
+    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "scheme", "T=250", "T=500", "T=1000", "T=32000");
+    for scheme in Scheme::ALL {
+        let row: Vec<String> = [250u32, 500, 1000, 32_000]
+            .iter()
+            .map(|&t| {
+                format!("{:.0} KB", scheme.bytes_per_rank(t, DDR4_BANKS_PER_RANK) as f64 / 1024.0)
+            })
+            .collect();
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10}",
+            scheme.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<12} {:<10} {:>8} {:>12} {:>10} {:>10}",
+        "workload", "suite", "MPKI", "unique rows", "ACT-250+", "ACTs/row");
+    for w in &registry::ALL {
+        println!(
+            "{:<12} {:<10} {:>8.2} {:>12} {:>10} {:>10.1}",
+            w.name, w.suite.label(), w.mpki, w.unique_rows, w.act250_rows, w.acts_per_row
+        );
+    }
+    Ok(())
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("characterize needs a workload name")?;
+    let scale: u64 = args.get(1).map_or(Ok(256), |s| s.parse().map_err(|_| "bad scale"))?;
+    let spec = registry::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
+    let geom = MemGeometry::isca22_baseline();
+    let mut trace = spec.build(geom, scale, 42);
+    let accesses = ((spec.expected_activations(scale) * spec.burst) as u64).max(10_000);
+    let mut acts: HashMap<RowAddr, u64> = HashMap::new();
+    let mut last = None;
+    let mut gap_sum = 0u64;
+    for _ in 0..accesses {
+        let op = trace.next_op();
+        gap_sum += u64::from(op.gap);
+        let row = geom.row_of_line(op.addr);
+        if last != Some(row) {
+            *acts.entry(row).or_insert(0) += 1;
+            last = Some(row);
+        }
+    }
+    let unique = acts.len();
+    let hot = acts.values().filter(|&&c| c > 250).count();
+    let total: u64 = acts.values().sum();
+    println!("{name} at scale {scale} ({accesses} accesses):");
+    println!("  unique rows     : {unique}");
+    println!("  rows > 250 ACTs : {hot}");
+    println!("  ACTs per row    : {:.1}", total as f64 / unique.max(1) as f64);
+    println!("  effective MPKI  : {:.2}", accesses as f64 * 1000.0 / (gap_sum + accesses) as f64);
+    Ok(())
+}
+
+fn parse_pattern(name: &str) -> Result<AttackPattern, String> {
+    let victim = RowAddr::new(0, 0, 1, 50_000);
+    Ok(match name {
+        "single_sided" => AttackPattern::SingleSided { aggressor: victim },
+        "double_sided" => AttackPattern::DoubleSided { victim },
+        "many_sided" => AttackPattern::ManySided { first: victim, n: 16 },
+        "half_double" => AttackPattern::HalfDouble { victim, ratio: 8 },
+        "thrash" => AttackPattern::Thrash { rows: 100_000, seed: 7 },
+        other => return Err(format!("unknown pattern {other}")),
+    })
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let pattern = parse_pattern(args.first().ok_or("audit needs a pattern")?)?;
+    let acts: u64 = args.get(1).map_or(Ok(200_000), |s| s.parse().map_err(|_| "bad act count"))?;
+    let geom = MemGeometry::isca22_baseline();
+    let hydra = Hydra::isca22_default(geom, 0).map_err(|e| e.to_string())?;
+    let t_h = hydra.config().t_h;
+    let mut sim = ActivationSim::new(geom, hydra);
+    let mut rows = pattern.rows(geom);
+    let mut oracle: HashMap<RowAddr, u32> = HashMap::new();
+    let mut worst = 0u32;
+    let mut mitigated: HashSet<RowAddr> = HashSet::new();
+    for _ in 0..acts {
+        let mut row = rows.next_row();
+        row.channel = 0;
+        *oracle.entry(row).or_insert(0) += 1;
+        sim.activate(row);
+        for m in sim.drain_mitigated() {
+            oracle.insert(m, 0);
+            mitigated.insert(m);
+        }
+        worst = worst.max(*oracle.get(&row).unwrap_or(&0));
+    }
+    let report = sim.report();
+    println!("pattern          : {}", pattern.name());
+    println!("demand acts      : {}", report.demand_acts);
+    println!("mitigations      : {} (over {} distinct rows)", report.mitigations, mitigated.len());
+    println!("mitigation acts  : {}", report.mitigation_acts);
+    println!("bandwidth        : {:.2}x", report.bandwidth_inflation());
+    println!("worst unmitigated: {worst} (bound T_H = {t_h})");
+    if worst <= t_h {
+        println!("verdict          : SECURE");
+        Ok(())
+    } else {
+        Err("tracking guarantee violated".into())
+    }
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("record needs a workload name")?;
+    let n: u64 = args
+        .get(1)
+        .ok_or("record needs an op count")?
+        .parse()
+        .map_err(|_| "bad op count")?;
+    let path = args.get(2).ok_or("record needs an output file")?;
+    let scale: u64 = args.get(3).map_or(Ok(256), |s| s.parse().map_err(|_| "bad scale"))?;
+    let spec = registry::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
+    let mut trace = spec.build(MemGeometry::isca22_baseline(), scale, 42);
+    let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let mut writer = TraceWriter::new(std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    writer.record(&mut trace, n).map_err(|e| e.to_string())?;
+    println!("wrote {n} ops of {name} (scale {scale}) to {path}");
+    Ok(())
+}
+
+fn cmd_hammer(args: &[String]) -> Result<(), String> {
+    let row_index: u32 = args
+        .first()
+        .ok_or("hammer needs a row index")?
+        .parse()
+        .map_err(|_| "bad row index")?;
+    let acts: u32 = args.get(1).map_or(Ok(1000), |s| s.parse().map_err(|_| "bad act count"))?;
+    let geom = MemGeometry::isca22_baseline();
+    let mut hydra = Hydra::isca22_default(geom, 0).map_err(|e| e.to_string())?;
+    let row = RowAddr::new(0, 0, 0, row_index % geom.rows_per_bank());
+    let mut mitigated_at = Vec::new();
+    for i in 1..=acts {
+        let resp = hydra.on_activation(row, u64::from(i), ActivationKind::Demand);
+        if !resp.mitigations.is_empty() {
+            mitigated_at.push(i);
+        }
+    }
+    let stats = hydra.stats();
+    println!("hammered {row} {acts} times");
+    println!("mitigations at ACTs {mitigated_at:?}");
+    println!(
+        "breakdown: GCT-only {:.1}%, RCC-hit {:.1}%, RCT {:.2}%",
+        stats.gct_only_fraction() * 100.0,
+        stats.rcc_hit_fraction() * 100.0,
+        stats.rct_access_fraction() * 100.0
+    );
+    Ok(())
+}

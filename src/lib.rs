@@ -1,0 +1,20 @@
+//! Facade crate for the Hydra reproduction workspace.
+//!
+//! Re-exports the workspace crates under one roof so examples and integration
+//! tests can `use hydra_repro::...`. See the individual crates for details:
+//!
+//! * [`types`] — shared addressing/geometry/tracker vocabulary
+//! * [`core`] — the Hydra hybrid tracker (the paper's contribution)
+//! * [`baselines`] — Graphene, CRA, PARA, OCPR, D-CBF, storage models
+//! * [`dram`] — DDR4 device timing, refresh and power models
+//! * [`sim`] — memory controller, LLC, core model, system simulator
+//! * [`workloads`] — synthetic workload and attack-pattern generators
+
+#![forbid(unsafe_code)]
+
+pub use hydra_baselines as baselines;
+pub use hydra_core as core;
+pub use hydra_dram as dram;
+pub use hydra_sim as sim;
+pub use hydra_types as types;
+pub use hydra_workloads as workloads;

@@ -1,0 +1,94 @@
+//! The paper's storage claims (Tables 1, 4, 5), asserted exactly where the
+//! paper gives exact numbers and within tolerance where it rounds.
+
+use hydra_repro::baselines::storage::{
+    Scheme, DDR4_BANKS_PER_RANK, DDR5_BANKS_PER_RANK,
+};
+use hydra_repro::core::{HydraConfig, HydraStorage};
+use hydra_repro::types::MemGeometry;
+
+fn hydra_system_storage() -> HydraStorage {
+    let geom = MemGeometry::isca22_baseline();
+    let config = HydraConfig::isca22_default(geom, 0).unwrap();
+    HydraStorage::for_system(&config, u32::from(geom.channels()))
+}
+
+#[test]
+fn table4_hydra_is_56_5_kb_sram() {
+    let s = hydra_system_storage();
+    assert_eq!(s.gct_bytes, 32 * 1024);
+    assert_eq!(s.rcc_bytes, 24 * 1024);
+    assert_eq!(s.rit_bytes, 512);
+    assert_eq!(s.total_sram_bytes(), 57_856); // 56.5 KB
+}
+
+#[test]
+fn hydra_rct_is_4_mb_of_dram() {
+    let s = hydra_system_storage();
+    assert_eq!(s.rct_dram_bytes, 4 * 1024 * 1024);
+    assert!(s.dram_overhead_fraction(32 << 30) < 0.0002);
+}
+
+#[test]
+fn table1_all_prior_schemes_blow_the_64kb_goal_at_ultra_low_thresholds() {
+    for t_rh in [250u32, 500, 1000] {
+        for scheme in Scheme::ALL {
+            let bytes = scheme.bytes_per_rank(t_rh, DDR4_BANKS_PER_RANK);
+            assert!(
+                bytes > 64 * 1024,
+                "{} at T_RH={t_rh}: {} B fits the goal",
+                scheme.name(),
+                bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_graphene_is_storage_efficient_at_32k_threshold() {
+    // At the classical threshold prior trackers are cheap — the paper's
+    // framing for why ultra-low thresholds change the game.
+    let graphene = Scheme::Graphene.bytes_per_rank(32_000, DDR4_BANKS_PER_RANK);
+    assert!(graphene < 8 * 1024, "graphene at 32K = {graphene} B");
+    let ocpr = Scheme::Ocpr.bytes_per_rank(32_000, DDR4_BANKS_PER_RANK);
+    assert!(ocpr > 3 * 1024 * 1024, "OCPR stays MBs: {ocpr} B");
+}
+
+#[test]
+fn table5_ddr5_doubles_per_bank_trackers_but_not_hydra() {
+    for scheme in [Scheme::Graphene, Scheme::Twice, Scheme::Cat] {
+        let d4 = scheme.bytes_per_rank(500, DDR4_BANKS_PER_RANK);
+        let d5 = scheme.bytes_per_rank(500, DDR5_BANKS_PER_RANK);
+        assert!(
+            (d5 as f64 / d4 as f64 - 2.0).abs() < 0.05,
+            "{} DDR5 should double",
+            scheme.name()
+        );
+    }
+    // Hydra's structures scale with rows, not banks: identical on DDR5.
+    let hydra = hydra_system_storage().total_sram_bytes();
+    assert!(hydra < 64 * 1024);
+}
+
+#[test]
+fn hydra_storage_is_identical_on_ddr5() {
+    // Table 5's punchline, computed on a real DDR5 geometry rather than
+    // asserted analytically: same rows -> same GCT/RCC/RIT/RCT sizes.
+    let d4 = hydra_system_storage();
+    let geom5 = MemGeometry::ddr5_32gb();
+    let config5 = HydraConfig::isca22_default(geom5, 0).unwrap();
+    let d5 = HydraStorage::for_system(&config5, u32::from(geom5.channels()));
+    assert_eq!(d4.total_sram_bytes(), d5.total_sram_bytes());
+    assert_eq!(d4.rct_dram_bytes, d5.rct_dram_bytes);
+}
+
+#[test]
+fn hydra_stays_within_goal_even_at_t_rh_125_scaling() {
+    // Fig. 7 scales structures 4x at T_RH = 125: 4 × 56.5 KB = 226 KB —
+    // still far below every prior scheme at that threshold.
+    let geom = MemGeometry::isca22_baseline();
+    let config = HydraConfig::for_threshold(geom, 0, 125).unwrap();
+    let s = HydraStorage::for_system(&config, u32::from(geom.channels()));
+    let graphene_at_125 = Scheme::Graphene.bytes_per_rank(125, DDR4_BANKS_PER_RANK) * 2;
+    assert!(s.total_sram_bytes() < graphene_at_125 / 4);
+}

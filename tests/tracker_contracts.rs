@@ -1,0 +1,138 @@
+//! Contract tests every tracker implementation must satisfy: determinism,
+//! window-reset semantics, sustained-hammer mitigation, and honest SRAM
+//! claims.
+
+use hydra_repro::baselines::{Cra, CraConfig, Graphene, GrapheneConfig, Ocpr, Para};
+use hydra_repro::core::{Hydra, HydraConfig};
+use hydra_repro::types::{
+    ActivationKind, ActivationTracker, MemGeometry, RowAddr, TrackerResponse,
+};
+
+const THRESHOLD: u32 = 32;
+
+fn all_trackers() -> Vec<Box<dyn ActivationTracker>> {
+    let geom = MemGeometry::tiny();
+    let mut hydra_builder = HydraConfig::builder(geom, 0);
+    hydra_builder
+        .thresholds(THRESHOLD, THRESHOLD * 4 / 5)
+        .gct_entries(128)
+        .rcc_entries(32);
+    vec![
+        Box::new(Hydra::new(hydra_builder.build().unwrap()).unwrap()),
+        Box::new(Graphene::new(GrapheneConfig {
+            geometry: geom,
+            channel: 0,
+            threshold: THRESHOLD,
+            entries_per_bank: 256,
+        })),
+        Box::new(
+            Cra::new(CraConfig {
+                geometry: geom,
+                channel: 0,
+                threshold: THRESHOLD,
+                cache_bytes: 1024,
+                cache_ways: 4,
+            })
+            .unwrap(),
+        ),
+        Box::new(Ocpr::new(geom, 0, THRESHOLD).unwrap()),
+    ]
+}
+
+fn hammer(tracker: &mut dyn ActivationTracker, row: RowAddr, n: u32) -> Vec<u32> {
+    (1..=n)
+        .filter(|&i| {
+            !tracker
+                .on_activation(row, u64::from(i), ActivationKind::Demand)
+                .mitigations
+                .is_empty()
+        })
+        .collect()
+}
+
+#[test]
+fn deterministic_trackers_mitigate_within_threshold() {
+    let row = RowAddr::new(0, 0, 0, 200);
+    for mut tracker in all_trackers() {
+        let mitigations = hammer(tracker.as_mut(), row, 10 * THRESHOLD);
+        assert!(
+            !mitigations.is_empty(),
+            "{} never mitigated",
+            tracker.name()
+        );
+        assert!(
+            mitigations[0] <= THRESHOLD,
+            "{} first mitigation at {} > {THRESHOLD}",
+            tracker.name(),
+            mitigations[0]
+        );
+        // Between consecutive mitigations: at most THRESHOLD activations.
+        for pair in mitigations.windows(2) {
+            assert!(
+                pair[1] - pair[0] <= THRESHOLD,
+                "{} gap {:?}",
+                tracker.name(),
+                pair
+            );
+        }
+    }
+}
+
+#[test]
+fn window_reset_restarts_every_tracker() {
+    let row = RowAddr::new(0, 0, 1, 300);
+    for mut tracker in all_trackers() {
+        // Warm up close to the threshold, reset, then verify a fresh count.
+        for i in 0..(THRESHOLD - 1) {
+            tracker.on_activation(row, u64::from(i), ActivationKind::Demand);
+        }
+        tracker.reset_window(10_000);
+        for i in 0..(THRESHOLD - 2) {
+            let r = tracker.on_activation(row, u64::from(i), ActivationKind::Demand);
+            assert!(
+                r.mitigations.is_empty(),
+                "{} mitigated {} ACTs after reset",
+                tracker.name(),
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn trackers_report_nonnegative_sram_and_names() {
+    for tracker in all_trackers() {
+        assert!(!tracker.name().is_empty());
+        // OCPR and Graphene claim real SRAM; CRA claims its cache; Hydra its
+        // tables. All are consistent with the storage module's units.
+        let _ = tracker.sram_bytes();
+    }
+}
+
+#[test]
+fn para_mitigates_probabilistically_and_deterministically_per_seed() {
+    let row = RowAddr::new(0, 0, 0, 1);
+    let run = |seed: u64| -> Vec<u32> {
+        let mut para = Para::for_threshold(2 * THRESHOLD, 1e-4, seed).unwrap();
+        hammer(&mut para, row, 2000)
+    };
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a, b, "PARA must be deterministic per seed");
+    assert!(!a.is_empty(), "PARA must mitigate a sustained hammer");
+}
+
+#[test]
+fn responses_to_single_activation_are_bounded() {
+    // No tracker may return an unbounded response to one activation: at most
+    // one mitigation for the activated row plus a handful of side requests.
+    let row = RowAddr::new(0, 0, 2, 123);
+    for mut tracker in all_trackers() {
+        for i in 0..500u32 {
+            let r: TrackerResponse =
+                tracker.on_activation(row, u64::from(i), ActivationKind::Demand);
+            assert!(r.mitigations.len() <= 1, "{}", tracker.name());
+            assert!(r.side_requests.len() <= 8, "{}", tracker.name());
+        }
+    }
+}
