@@ -1,0 +1,192 @@
+//! `hydra-audit` — static security audit of Hydra configurations.
+//!
+//! Audits the stock design points (and a set of deliberately broken
+//! configurations, so the insecure path is demonstrated too) against a
+//! Row-Hammer threshold:
+//!
+//! ```text
+//! cargo run -p hydra-analysis --bin hydra-audit -- [--geometry tiny|isca22|ddr5]
+//!     [--t-rh N] [--json]
+//! ```
+//!
+//! Exit code 0 iff every stock configuration audits secure *and* every
+//! crafted bad configuration is correctly flagged insecure.
+
+use hydra_analysis::audit::{audit_hydra, AuditReport};
+use hydra_core::HydraConfig;
+use hydra_types::MemGeometry;
+use std::process::ExitCode;
+
+struct Case {
+    label: String,
+    report: AuditReport,
+    expect_secure: bool,
+}
+
+fn geometry_by_name(name: &str) -> Option<MemGeometry> {
+    match name {
+        "tiny" => Some(MemGeometry::tiny()),
+        "isca22" => Some(MemGeometry::isca22_baseline()),
+        "ddr5" => Some(MemGeometry::ddr5_32gb()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut t_rh: u32 = 500;
+    let mut geometries: Vec<&'static str> = vec!["tiny", "isca22", "ddr5"];
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--t-rh" => {
+                i += 1;
+                t_rh = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage("--t-rh needs an integer argument"),
+                };
+            }
+            "--geometry" => {
+                i += 1;
+                match args.get(i) {
+                    Some(g) if geometry_by_name(g).is_some() => {
+                        geometries = vec![match g.as_str() {
+                            "tiny" => "tiny",
+                            "isca22" => "isca22",
+                            _ => "ddr5",
+                        }];
+                    }
+                    _ => return usage("--geometry must be tiny, isca22 or ddr5"),
+                }
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let mut cases: Vec<Case> = Vec::new();
+    for name in &geometries {
+        let geom = match geometry_by_name(name) {
+            Some(g) => g,
+            None => return usage("internal geometry error"),
+        };
+        // The stock design point, scaled to the requested threshold.
+        match HydraConfig::for_threshold(geom, 0, t_rh) {
+            Ok(config) => cases.push(Case {
+                label: format!("{name}/default"),
+                report: audit_hydra(&config, t_rh),
+                expect_secure: true,
+            }),
+            Err(e) => {
+                eprintln!("hydra-audit: cannot build {name} config: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Crafted bad configurations: the audit must flag each one.
+    let geom = MemGeometry::isca22_baseline();
+    let bad: Vec<(&str, Result<HydraConfig, _>, u32)> = vec![
+        (
+            // T_H = 250 > T_RH/2 when T_RH = 400: the window split breaks.
+            "bad/t-h-above-half-trh",
+            HydraConfig::isca22_default(geom, 0),
+            400,
+        ),
+        (
+            "bad/writeback-disabled",
+            HydraConfig::builder(geom, 0).rcc_writeback(false).build(),
+            500,
+        ),
+        (
+            "bad/no-mitigation-feedback",
+            HydraConfig::builder(geom, 0)
+                .count_mitigation_acts(false)
+                .build(),
+            500,
+        ),
+    ];
+    for (label, config, bad_t_rh) in bad {
+        match config {
+            Ok(config) => cases.push(Case {
+                label: label.to_string(),
+                report: audit_hydra(&config, bad_t_rh),
+                expect_secure: false,
+            }),
+            Err(e) => {
+                eprintln!("hydra-audit: cannot build {label}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failures = 0;
+    if json {
+        println!("[");
+        for (i, case) in cases.iter().enumerate() {
+            let comma = if i + 1 < cases.len() { "," } else { "" };
+            println!(
+                "{{\"label\":\"{}\",\"expect_secure\":{},\"report\":{}}}{comma}",
+                case.label,
+                case.expect_secure,
+                case.report.to_json()
+            );
+        }
+        println!("]");
+    }
+    for case in &cases {
+        let secure = case.report.is_secure();
+        let as_expected = secure == case.expect_secure;
+        if !as_expected {
+            failures += 1;
+        }
+        if !json {
+            println!(
+                "=== {} (expected {}) {}",
+                case.label,
+                if case.expect_secure {
+                    "secure"
+                } else {
+                    "insecure"
+                },
+                if as_expected {
+                    ""
+                } else {
+                    "— UNEXPECTED VERDICT"
+                }
+            );
+            println!("{}\n", case.report);
+        }
+    }
+    if !json {
+        if failures == 0 {
+            println!(
+                "hydra-audit: all {} configurations audited as expected",
+                cases.len()
+            );
+        } else {
+            println!("hydra-audit: {failures} configuration(s) had unexpected verdicts");
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("hydra-audit: {error}");
+    }
+    eprintln!("usage: hydra-audit [--geometry tiny|isca22|ddr5] [--t-rh N] [--json]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

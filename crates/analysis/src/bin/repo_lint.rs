@@ -1,0 +1,61 @@
+//! `repo-lint` — the repository lint gate, for CI and pre-commit use.
+//!
+//! ```text
+//! cargo run -p hydra-analysis --bin repo-lint [-- <workspace-root>]
+//! ```
+//!
+//! Prints one `file:line: [rule] message` diagnostic per finding and exits
+//! nonzero if there are any. With no argument the workspace root is found
+//! by walking up from the current directory to the first `Cargo.toml`
+//! declaring `[workspace]`.
+
+use hydra_analysis::lint::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("repo-lint: no workspace root found; pass one explicitly");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match lint_workspace(&root) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("repo-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            println!("repo-lint: {} finding(s)", diagnostics.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("repo-lint: failed to scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

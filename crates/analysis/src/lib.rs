@@ -1,0 +1,53 @@
+//! Security-invariant analysis for the Hydra reproduction.
+//!
+//! The functional simulator answers "what does this configuration *do*";
+//! this crate answers "what can an adversary *get away with*" — without
+//! running a single activation. It has three layers:
+//!
+//! 1. [`audit`] — a **static config auditor** that derives worst-case
+//!    analytical bounds for any [`hydra_core::HydraConfig`]: the per-row
+//!    undercount through the GCT-initialization path, the effect of RCC
+//!    eviction write-back ordering, RIT-ACT coverage of the DRAM rows that
+//!    store the RCT itself, and the headroom of the RCT's one-byte counters.
+//!    The result is a machine-readable [`audit::SecurityVerdict`]
+//!    (secure, or insecure with a witness bound) plus a human-readable
+//!    report. The `hydra-audit` binary exposes it on the command line.
+//!
+//! 2. [`oracle`] — a **shadow-oracle sanitizer**: [`oracle::ShadowOracle`]
+//!    wraps any [`hydra_types::ActivationTracker`] (think thread-sanitizer,
+//!    but for Row-Hammer trackers), maintains ground-truth per-row
+//!    activation counts, and records a structured [`oracle::Violation`]
+//!    whenever the wrapped tracker lets a row cross the Row-Hammer
+//!    threshold unmitigated or mitigates a row that was never activated.
+//!
+//! 3. [`lint`] — a **repository lint gate** enforcing workspace-wide
+//!    invariants (`#![forbid(unsafe_code)]` everywhere, no
+//!    `unwrap()`/`expect()` in non-test library code, builder docs
+//!    consistent with builder behavior), exposed as the `repo-lint` binary
+//!    for CI.
+//!
+//! # Example
+//!
+//! ```
+//! use hydra_analysis::audit::audit_hydra;
+//! use hydra_core::HydraConfig;
+//! use hydra_types::MemGeometry;
+//!
+//! let config = HydraConfig::isca22_default(MemGeometry::isca22_baseline(), 0)?;
+//! let report = audit_hydra(&config, 500);
+//! assert!(report.is_secure());
+//! // The paper's bound: at most 2·(T_H − 1) = 498 < 500 unmitigated ACTs.
+//! assert_eq!(report.worst_case_unmitigated(), Some(498));
+//! # Ok::<(), hydra_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod fixtures;
+pub mod lint;
+pub mod oracle;
+
+pub use audit::{audit_hydra, AuditCheck, AuditReport, SecurityVerdict};
+pub use oracle::{OracleReport, ShadowOracle, Violation, ViolationKind};

@@ -1,0 +1,516 @@
+//! Repository lint gate.
+//!
+//! Mechanically enforces workspace-wide invariants that rustc does not:
+//!
+//! * **`forbid-unsafe`** — every crate root must carry
+//!   `#![forbid(unsafe_code)]`. A reproduction of a *security* paper has no
+//!   business containing unsafe blocks.
+//! * **`no-unwrap`** — non-test library code must not call `.unwrap()` or
+//!   `.expect(...)`: every panic path in library code is a denial-of-service
+//!   on the simulation host and hides an error the caller should see.
+//!   Test modules, integration tests, examples, benches and binaries are
+//!   exempt.
+//! * **`doc-consistency`** — builder contracts must match builder behavior:
+//!   a `build()` whose docs promise rejection (mention `# Errors` or
+//!   "reject") must actually contain a fallible path, and no `build()` body
+//!   may silently clamp a user-supplied field (`self.field.min(...)` /
+//!   `self.field.max(...)`) instead of rejecting it.
+//!
+//! The scanner is line-based: string literals are blanked and `//` comments
+//! stripped before matching, and `#[cfg(test)]` modules are tracked by brace
+//! depth. It is a *lint*, not a proof — but it is exactly strong enough to
+//! have caught the silent `rcc_ways` clamp this subsystem was built to
+//! prevent from reappearing.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, pointing at a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiagnostic {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number (0 = whole file).
+    pub line: usize,
+    /// Rule identifier (`forbid-unsafe`, `no-unwrap`, `doc-consistency`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Lints the workspace rooted at `root`. Returns all findings (empty =
+/// clean).
+///
+/// # Errors
+///
+/// Returns [`io::Error`] if the tree cannot be read.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintDiagnostic>> {
+    let mut diagnostics = Vec::new();
+
+    // Crate roots that must forbid unsafe code: every crates/* member, the
+    // facade crate, and the vendored shims (they are compiled into every
+    // test binary, so they get no pass).
+    let mut crate_roots = vec![root.join("src/lib.rs")];
+    for dir in ["crates", "vendor"] {
+        let base = root.join(dir);
+        if base.is_dir() {
+            for entry in fs::read_dir(&base)? {
+                let lib = entry?.path().join("src/lib.rs");
+                if lib.is_file() {
+                    crate_roots.push(lib);
+                }
+            }
+        }
+    }
+    for lib in &crate_roots {
+        let text = fs::read_to_string(lib)?;
+        if !text.contains("#![forbid(unsafe_code)]") {
+            diagnostics.push(LintDiagnostic {
+                file: lib.clone(),
+                line: 0,
+                rule: "forbid-unsafe",
+                message: "crate root missing #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+
+    // Library sources subject to the unwrap and doc-consistency rules:
+    // crates/*/src and the facade's src, excluding bin/ subtrees. The
+    // vendored shims are test-support code and exempt from `no-unwrap`.
+    let mut lib_files = Vec::new();
+    collect_rs(&root.join("src"), &mut lib_files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            collect_rs(&entry?.path().join("src"), &mut lib_files)?;
+        }
+    }
+    lib_files.retain(|p| !p.components().any(|c| c.as_os_str() == "bin"));
+    lib_files.sort();
+
+    for file in &lib_files {
+        let text = fs::read_to_string(file)?;
+        lint_library_source(file, &text, &mut diagnostics);
+    }
+
+    Ok(diagnostics)
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op if absent).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Applies the `no-unwrap` and `doc-consistency` rules to one library file.
+fn lint_library_source(file: &Path, text: &str, diagnostics: &mut Vec<LintDiagnostic>) {
+    let mut depth: i32 = 0;
+    // Brace depth at which a #[cfg(test)] mod body started; we are in test
+    // code while depth > that value.
+    let mut test_mod_depth: Option<i32> = None;
+    let mut pending_cfg_test = false;
+    // Same tracking for `fn build` bodies (doc-consistency scope).
+    let mut build_fn_depth: Option<i32> = None;
+    // Multi-line signatures keep depth at the opening value until the body
+    // brace appears; only settle the scope after the body has been entered.
+    let mut build_body_entered = false;
+    let mut build_has_err = false;
+    let mut build_doc_promises_rejection = false;
+    let mut build_line = 0usize;
+    let mut recent_docs: Vec<String> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = raw_line.trim_start();
+
+        // Doc comments: remember them for the next item, match nothing else.
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            recent_docs.push(trimmed.to_string());
+            continue;
+        }
+        let code = strip_strings_and_comments(raw_line);
+        let code_trimmed = code.trim();
+
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+
+        let in_test = test_mod_depth.is_some();
+        let in_build = build_fn_depth.is_some();
+
+        // Rule: no-unwrap (non-test library code only).
+        if !in_test && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            diagnostics.push(LintDiagnostic {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "no-unwrap",
+                message: "unwrap()/expect() in non-test library code; propagate the error or use a non-panicking alternative"
+                    .to_string(),
+            });
+        }
+
+        // Rule: doc-consistency — silent clamps inside builder `build()`.
+        if in_build {
+            // Both an explicit `Err(...)` and `?`-propagation of a callee's
+            // error count as honoring a documented rejection promise.
+            if code.contains("Err(") || code.contains(")?") {
+                build_has_err = true;
+            }
+            for method in ["min", "max"] {
+                if let Some(field) = clamped_self_field(&code, method) {
+                    diagnostics.push(LintDiagnostic {
+                        file: file.to_path_buf(),
+                        line: lineno,
+                        rule: "doc-consistency",
+                        message: format!(
+                            "build() silently clamps user-supplied field `{field}` via .{method}(); reject invalid values with a ConfigError instead"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Open a build() scope when a builder's build signature appears.
+        if !in_test && !in_build && code_trimmed.contains("fn build(") {
+            build_fn_depth = Some(depth);
+            // A single-line body (`fn build(..) { .. }`) opens and closes on
+            // this very line; scan it for an Err path now since the in_build
+            // scan above already ran for this line.
+            build_body_entered = code.contains('{');
+            build_has_err = code.contains("Err(") || code.contains(")?");
+            build_line = lineno;
+            build_doc_promises_rejection = recent_docs
+                .iter()
+                .any(|d| d.contains("# Errors") || d.to_ascii_lowercase().contains("reject"));
+        }
+
+        // Open a test-mod scope when the pending cfg(test) attribute hits
+        // its `mod` item.
+        if pending_cfg_test && code_trimmed.starts_with("mod ") {
+            test_mod_depth = Some(depth);
+            pending_cfg_test = false;
+        } else if pending_cfg_test && !code_trimmed.is_empty() && !code_trimmed.starts_with("#[") {
+            // The attribute applied to a non-mod item (e.g. a lone fn);
+            // treat just that item conservatively by leaving normal mode.
+            pending_cfg_test = false;
+        }
+
+        // Track depth after scope decisions so `mod tests {` itself opens
+        // the scope it declares.
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(d) = test_mod_depth {
+            if depth <= d {
+                test_mod_depth = None;
+            }
+        }
+        if let Some(d) = build_fn_depth {
+            if depth > d {
+                build_body_entered = true;
+            }
+            if build_body_entered && depth <= d {
+                // build() body ended: settle the doc promise.
+                if build_doc_promises_rejection && !build_has_err {
+                    diagnostics.push(LintDiagnostic {
+                        file: file.to_path_buf(),
+                        line: build_line,
+                        rule: "doc-consistency",
+                        message: "build() docs promise rejection of invalid configs but the body has no Err(...) path"
+                            .to_string(),
+                    });
+                }
+                build_fn_depth = None;
+            }
+        }
+
+        if !code_trimmed.is_empty() {
+            recent_docs.clear();
+        }
+    }
+}
+
+/// Finds a `self.<field>.<method>(` pattern in a code line, returning the
+/// field name. This is the silent-clamp shape: a user-supplied builder
+/// field being range-adjusted instead of validated.
+fn clamped_self_field(code: &str, method: &str) -> Option<String> {
+    let needle = format!(".{method}(");
+    let mut search_from = 0;
+    while let Some(pos) = code[search_from..].find("self.") {
+        let start = search_from + pos + "self.".len();
+        let field: String = code[start..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let after = start + field.len();
+        if !field.is_empty() && code[after..].starts_with(needle.as_str()) {
+            return Some(field);
+        }
+        search_from = start;
+    }
+    None
+}
+
+/// Blanks string/char literal contents and strips `//` comments, so brace
+/// counting and pattern matching only see real code. Raw strings and
+/// multi-line literals are not handled (none of the linted code uses them
+/// in positions that matter).
+fn strip_strings_and_comments(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if in_char {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '\'' => {
+                    in_char = false;
+                    out.push('\'');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '\'' => {
+                // Only treat as a char literal when it closes within a few
+                // characters; otherwise it is a lifetime tick.
+                let rest: String = chars.clone().take(3).collect();
+                if rest.contains('\'') {
+                    in_char = true;
+                    out.push('\'');
+                } else {
+                    out.push('\'');
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hydra-lint-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).unwrap();
+        dir
+    }
+
+    fn lint_one(tag: &str, source: &str) -> Vec<LintDiagnostic> {
+        let root = scratch_dir(tag);
+        fs::write(
+            root.join("src/lib.rs"),
+            format!("#![forbid(unsafe_code)]\n{source}"),
+        )
+        .unwrap();
+        let diags = lint_workspace(&root).unwrap();
+        let _ = fs::remove_dir_all(&root);
+        diags
+    }
+
+    #[test]
+    fn flags_missing_forbid_unsafe() {
+        let root = scratch_dir("nounsafe");
+        fs::write(root.join("src/lib.rs"), "pub fn f() {}\n").unwrap();
+        let diags = lint_workspace(&root).unwrap();
+        let _ = fs::remove_dir_all(&root);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn flags_unwrap_in_library_code_with_line() {
+        let diags = lint_one(
+            "unwrap",
+            "pub fn f() {\n    let x: Option<u8> = None;\n    x.unwrap();\n}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "no-unwrap");
+        assert_eq!(diags[0].line, 4); // 1 line of forbid header + 3
+    }
+
+    #[test]
+    fn ignores_unwrap_in_test_modules() {
+        let diags = lint_one(
+            "testmod",
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn ignores_unwrap_in_comments_and_strings() {
+        let diags = lint_one(
+            "strings",
+            "pub fn f() -> String {\n    // .unwrap() here is fine\n    String::from(\".unwrap()\")\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_silent_clamp_in_build() {
+        let diags = lint_one(
+            "clamp",
+            "pub struct B { ways: usize }\nimpl B {\n    pub fn build(&self) -> usize {\n        self.ways.min(4)\n    }\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "doc-consistency");
+        assert!(diags[0].message.contains("`ways`"));
+    }
+
+    #[test]
+    fn allows_clamping_constants_in_build() {
+        // Clamping a *default* (a constant receiver) is documented adaptive
+        // behavior, not a silent rewrite of user input.
+        let diags = lint_one(
+            "constclamp",
+            "const W: usize = 16;\npub struct B { n: usize }\nimpl B {\n    pub fn build(&self) -> Result<usize, ()> {\n        if self.n == 0 { return Err(()); }\n        Ok(W.min(self.n))\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_rejection_docs_without_err_path() {
+        let diags = lint_one(
+            "docerr",
+            "pub struct B;\nimpl B {\n    /// Builds it; invalid values are rejected.\n    pub fn build(&self) -> usize {\n        42\n    }\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "doc-consistency");
+        assert!(diags[0].message.contains("no Err"));
+    }
+
+    #[test]
+    fn accepts_rejection_docs_with_err_path() {
+        let diags = lint_one(
+            "docok",
+            "pub struct B { n: u32 }\nimpl B {\n    /// # Errors\n    /// Rejects zero.\n    pub fn build(&self) -> Result<u32, ()> {\n        if self.n == 0 { return Err(()); }\n        Ok(self.n)\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn multiline_build_signature_scopes_to_the_body() {
+        // The scope must not settle before the body brace of a signature
+        // that spans several lines.
+        let diags = lint_one(
+            "multisig",
+            "fn inner(n: u32) -> Result<u32, ()> { if n == 0 { Err(()) } else { Ok(n) } }\npub struct B { n: u32 }\nimpl B {\n    /// # Errors\n    /// Rejects zero.\n    pub fn build(\n        &self,\n        extra: u32,\n    ) -> Result<u32, ()> {\n        Ok(inner(self.n + extra)?)\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn accepts_rejection_docs_with_question_mark_propagation() {
+        // `?`-propagating a callee's error is an Err path too.
+        let diags = lint_one(
+            "docprop",
+            "fn inner(n: u32) -> Result<u32, ()> { if n == 0 { Err(()) } else { Ok(n) } }\npub struct B { n: u32 }\nimpl B {\n    /// # Errors\n    /// Rejects zero.\n    pub fn build(&self) -> Result<u32, ()> {\n        Ok(inner(self.n)?)\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn the_real_workspace_is_clean() {
+        // The gate the CI runs, applied to this very repository.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = lint_workspace(&root).unwrap();
+        assert!(
+            diags.is_empty(),
+            "repository lint failures:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn strip_strings_handles_escapes_and_lifetimes() {
+        assert_eq!(
+            strip_strings_and_comments("let s = \"a{b\\\"}\";"),
+            "let s = \"\";"
+        );
+        assert_eq!(
+            strip_strings_and_comments("x. unwrap // .unwrap()"),
+            "x. unwrap "
+        );
+        assert_eq!(
+            strip_strings_and_comments("fn f<'a>(x: &'a str) {}"),
+            "fn f<'a>(x: &'a str) {}"
+        );
+        assert_eq!(strip_strings_and_comments("let c = '{';"), "let c = '';");
+    }
+
+    #[test]
+    fn clamped_field_detection_is_precise() {
+        assert_eq!(
+            clamped_self_field("let w = self.ways.min(self.entries);", "min"),
+            Some("ways".to_string())
+        );
+        // Constant receiver with a self argument: not a clamp of user input.
+        assert_eq!(clamped_self_field("W.min(self.entries)", "min"), None);
+        // Ways already validated, then a constant clamped: fine.
+        assert_eq!(
+            clamped_self_field("DEFAULT.min(self.n).max(1)", "max"),
+            None
+        );
+    }
+}

@@ -52,11 +52,7 @@ impl BlockHammer {
     /// # Errors
     ///
     /// Returns [`ConfigError`] for zero parameters.
-    pub fn new(
-        counters: usize,
-        threshold: u32,
-        window: MemCycle,
-    ) -> Result<Self, ConfigError> {
+    pub fn new(counters: usize, threshold: u32, window: MemCycle) -> Result<Self, ConfigError> {
         Ok(BlockHammer {
             filter: DualCountingBloomFilter::new(counters, threshold, (window / 2).max(1))?,
             reported: HashSet::new(),

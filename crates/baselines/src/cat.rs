@@ -63,7 +63,9 @@ impl CounterTree {
         split_threshold: u32,
     ) -> Result<Self, ConfigError> {
         if rows == 0 || budget == 0 || threshold == 0 {
-            return Err(ConfigError::new("rows, budget and threshold must be nonzero"));
+            return Err(ConfigError::new(
+                "rows, budget and threshold must be nonzero",
+            ));
         }
         if split_threshold >= threshold {
             return Err(ConfigError::new(
@@ -111,8 +113,7 @@ impl CounterTree {
             self.mitigations += 1;
             return Some(range);
         }
-        if !is_single && node.count >= self.split_threshold && self.nodes.len() + 2 <= self.budget
-        {
+        if !is_single && node.count >= self.split_threshold && self.nodes.len() + 2 <= self.budget {
             self.split(idx);
         }
         None

@@ -49,7 +49,9 @@ impl CraConfig {
         }
         let per_channel = total_cache_bytes / usize::from(geometry.channels());
         if per_channel < 64 {
-            return Err(ConfigError::new("metadata cache must hold at least one line"));
+            return Err(ConfigError::new(
+                "metadata cache must hold at least one line",
+            ));
         }
         Ok(CraConfig {
             geometry,
@@ -102,12 +104,14 @@ impl MetadataCache {
             set.push((line, self.stamp));
             return (false, None);
         }
+        // The set is at capacity here (ways ≥ 1), so a minimum exists; the
+        // fallback index keeps this panic-free.
         let lru = set
             .iter()
             .enumerate()
             .min_by_key(|(_, (_, s))| *s)
             .map(|(i, _)| i)
-            .expect("set is non-empty");
+            .unwrap_or(0);
         let evicted = set[lru].0;
         set[lru] = (line, self.stamp);
         (false, Some(evicted))
@@ -178,6 +182,13 @@ impl Cra {
         })
     }
 
+    /// The DRAM region holding the counter table. Activations *within* this
+    /// region are not tracked — CRA predates the counter-row-attack concern;
+    /// Hydra's RIT-ACT exists to close exactly this hole.
+    pub fn region(&self) -> &CounterRegion {
+        &self.region
+    }
+
     /// The configuration.
     pub fn config(&self) -> &CraConfig {
         &self.config
@@ -241,9 +252,9 @@ impl ActivationTracker for Cra {
             // evictions are always dirty.
             self.side_writes += 1;
             let victim_entry = victim_line * self.region.entries_per_line();
-            response
-                .side_requests
-                .push(SideRequest::write(self.region.dram_row_of_entry(victim_entry)));
+            response.side_requests.push(SideRequest::write(
+                self.region.dram_row_of_entry(victim_entry),
+            ));
         }
 
         let count = &mut self.counts[index as usize];

@@ -57,11 +57,12 @@ impl CountingBloom {
     /// row's true activation count.
     fn estimate(&self, row: RowAddr) -> u32 {
         let n = self.counters.len() as u64;
+        // Folding from MAX keeps this panic-free; the estimate stays a
+        // valid (conservative) upper bound even for an empty salt set.
         self.salts
             .iter()
             .map(|&salt| self.counters[(hash(row, salt) % n) as usize])
-            .min()
-            .expect("three salts")
+            .fold(u32::MAX, u32::min)
     }
 
     fn clear(&mut self, generation: u64) {
@@ -123,7 +124,10 @@ impl DualCountingBloomFilter {
             ));
         }
         Ok(DualCountingBloomFilter {
-            filters: [CountingBloom::new(counters, 0), CountingBloom::new(counters, 1)],
+            filters: [
+                CountingBloom::new(counters, 0),
+                CountingBloom::new(counters, 1),
+            ],
             threshold,
             half_window,
             next_reset: 0,
@@ -159,16 +163,19 @@ impl DualCountingBloomFilter {
     /// (The younger filter under-counts; the older one never under-counts
     /// within its epoch, so checking both is conservative.)
     pub fn is_blacklisted(&self, row: RowAddr) -> bool {
-        self.filters.iter().any(|f| f.estimate(row) >= self.threshold)
+        self.filters
+            .iter()
+            .any(|f| f.estimate(row) >= self.threshold)
     }
 
     /// The row's activation-count upper bound (max over filters).
     pub fn estimate(&self, row: RowAddr) -> u32 {
+        // The filters array is fixed-size (two epochs), so the fold always
+        // sees both estimates; folding replaces the panic path of max().
         self.filters
             .iter()
             .map(|f| f.estimate(row))
-            .max()
-            .expect("two filters")
+            .fold(0, u32::max)
     }
 }
 

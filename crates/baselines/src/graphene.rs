@@ -224,8 +224,9 @@ mod tests {
         // hammer one row to threshold-1 amid many decoys, then push it over.
         let act_budget = 1000u64;
         let threshold = 50u32;
-        let config = GrapheneConfig::for_threshold(MemGeometry::tiny(), 0, threshold * 2, act_budget)
-            .unwrap();
+        let config =
+            GrapheneConfig::for_threshold(MemGeometry::tiny(), 0, threshold * 2, act_budget)
+                .unwrap();
         let mut g = Graphene::new(config);
         let target = RowAddr::new(0, 0, 0, 7);
         let mut unmitigated = 0u32;
@@ -233,7 +234,7 @@ mod tests {
             // 1 target ACT per 2 decoys — decoys cycle over 300 rows.
             let decoy = RowAddr::new(0, 0, 0, 100 + (i % 300) as u32);
             act(&mut g, decoy);
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 unmitigated += 1;
                 let r = act(&mut g, target);
                 if !r.mitigations.is_empty() {
@@ -258,7 +259,10 @@ mod tests {
             let target = RowAddr::new(0, 0, 0, 7);
             for i in 0..300u64 {
                 for d in 0..8u32 {
-                    act(&mut g, RowAddr::new(0, 0, 0, 1000 + ((i as u32 * 8 + d) % 512)));
+                    act(
+                        &mut g,
+                        RowAddr::new(0, 0, 0, 1000 + ((i as u32 * 8 + d) % 512)),
+                    );
                 }
                 act(&mut g, target);
             }
@@ -294,7 +298,11 @@ mod tests {
         let c = GrapheneConfig::for_threshold(MemGeometry::isca22_baseline(), 0, 500, 1_360_000)
             .unwrap();
         assert_eq!(c.threshold, 250);
-        assert!((5440..=5442).contains(&c.entries_per_bank), "{}", c.entries_per_bank);
+        assert!(
+            (5440..=5442).contains(&c.entries_per_bank),
+            "{}",
+            c.entries_per_bank
+        );
     }
 
     #[test]

@@ -106,9 +106,10 @@ impl ActivationTracker for Ocpr {
     }
 
     fn sram_bytes(&self) -> u64 {
-        ocpr_bytes_per_rank(self.threshold * 2, self.geometry.rows_per_bank() as u64
-            * u64::from(self.geometry.banks_per_rank()))
-            * u64::from(self.geometry.ranks_per_channel())
+        ocpr_bytes_per_rank(
+            self.threshold * 2,
+            self.geometry.rows_per_bank() as u64 * u64::from(self.geometry.banks_per_rank()),
+        ) * u64::from(self.geometry.ranks_per_channel())
     }
 }
 

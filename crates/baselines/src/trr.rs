@@ -172,7 +172,10 @@ mod tests {
         }
         let target = RowAddr::new(0, 0, 0, 7);
         for _ in 0..10_000 {
-            assert!(!act(&mut t, target), "sampler should never catch the target");
+            assert!(
+                !act(&mut t, target),
+                "sampler should never catch the target"
+            );
         }
         assert_eq!(t.escaped_activations(), 10_000);
         assert_eq!(t.mitigations(), 0);

@@ -118,7 +118,8 @@ impl TwiceTable {
             // (checkpoint / checkpoints) * threshold counts by now.
             let floor = self.threshold * checkpoint / self.checkpoints;
             let before = self.entries.len();
-            self.entries.retain(|_, &mut c| c >= floor.saturating_sub(1));
+            self.entries
+                .retain(|_, &mut c| c >= floor.saturating_sub(1));
             self.pruned += (before - self.entries.len()) as u64;
             self.last_checkpoint = checkpoint;
         }

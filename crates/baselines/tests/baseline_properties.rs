@@ -1,6 +1,9 @@
 //! Property-based tests of the baseline trackers' defining invariants.
 
-use hydra_baselines::{Cra, CraConfig, CounterTree, DualCountingBloomFilter, Graphene, GrapheneConfig, MisraGries, Ocpr, TwiceTable};
+use hydra_baselines::{
+    CounterTree, Cra, CraConfig, DualCountingBloomFilter, Graphene, GrapheneConfig, MisraGries,
+    Ocpr, TwiceTable,
+};
 use hydra_types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
 use proptest::prelude::*;
 use std::collections::HashMap;

@@ -38,8 +38,20 @@ fn main() {
         use_gct: true,
         use_rcc: true,
     };
-    let names = ["parest", "cactuBSSN", "xz", "blender", "ferret", "stream", "gups"];
-    let mut table = Table::new(vec!["workload", "victim-refresh slowdown", "rate-limit slowdown"]);
+    let names = [
+        "parest",
+        "cactuBSSN",
+        "xz",
+        "blender",
+        "ferret",
+        "stream",
+        "gups",
+    ];
+    let mut table = Table::new(vec![
+        "workload",
+        "victim-refresh slowdown",
+        "rate-limit slowdown",
+    ]);
     let mut refresh_all = Vec::new();
     let mut delay_all = Vec::new();
 
@@ -54,7 +66,7 @@ fn main() {
             let mut sim = SystemSim::new(config, |core| {
                 spec.build(geometry, s, seed ^ (core as u64).wrapping_mul(0x9E37))
             })
-            .with_trackers(|ch| tracker.build(geometry, ch, &scale));
+            .with_trackers(|ch| tracker.build(geometry, ch, &scale).expect("tracker"));
             sim.run()
         };
         let baseline = {

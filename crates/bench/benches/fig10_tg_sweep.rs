@@ -25,17 +25,25 @@ fn hydra_with_tg(t_g: u32) -> TrackerKind {
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("\n=== Figure 10: Hydra slowdown vs T_G (S={}) ===\n", scale.scale);
+    println!(
+        "\n=== Figure 10: Hydra slowdown vs T_G (S={}) ===\n",
+        scale.scale
+    );
 
-    let tgs = [(125u32, "50% (125)"), (162, "65% (162)"), (200, "80% (200)"), (237, "95% (237)")];
+    let tgs = [
+        (125u32, "50% (125)"),
+        (162, "65% (162)"),
+        (200, "80% (200)"),
+        (237, "95% (237)"),
+    ];
     let suites = [Suite::Spec2017, Suite::Parsec, Suite::Gap, Suite::Gups];
     let mut by_suite: Vec<Vec<Vec<f64>>> = vec![vec![vec![]; tgs.len()]; suites.len()];
     let mut all: Vec<Vec<f64>> = vec![vec![]; tgs.len()];
 
     for spec in &registry::ALL {
-        let baseline = run_workload(spec, TrackerKind::Baseline, &scale);
+        let baseline = run_workload(spec, TrackerKind::Baseline, &scale).expect("workload run");
         for (i, &(t_g, _)) in tgs.iter().enumerate() {
-            let run = run_workload(spec, hydra_with_tg(t_g), &scale);
+            let run = run_workload(spec, hydra_with_tg(t_g), &scale).expect("workload run");
             let ratio = 1.0 + run.result.slowdown_pct(&baseline.result) / 100.0;
             all[i].push(ratio);
             let s = suites.iter().position(|&s| s == spec.suite).expect("suite");
@@ -49,8 +57,8 @@ fn main() {
     let mut table = Table::new(headers);
     for (s, suite) in suites.iter().enumerate() {
         let mut cells = vec![suite.label().to_string()];
-        for i in 0..tgs.len() {
-            cells.push(format!("{:.2}%", (geometric_mean(&by_suite[s][i]) - 1.0) * 100.0));
+        for ratios in by_suite[s].iter().take(tgs.len()) {
+            cells.push(format!("{:.2}%", (geometric_mean(ratios) - 1.0) * 100.0));
         }
         table.row(cells);
     }
@@ -71,6 +79,10 @@ fn main() {
         "Shape check: the 50 % point is the worst overall ({:.2}% >= {:.2}%): {}",
         overall[0],
         overall[2],
-        if overall[0] >= overall[2] - 0.2 { "OK" } else { "MISMATCH" }
+        if overall[0] >= overall[2] - 0.2 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
 }

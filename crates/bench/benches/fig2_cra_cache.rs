@@ -9,16 +9,20 @@ use hydra_workloads::registry;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("\n=== Figure 2: CRA vs metadata-cache size (scale S={}) ===\n", scale.scale);
+    println!(
+        "\n=== Figure 2: CRA vs metadata-cache size (scale S={}) ===\n",
+        scale.scale
+    );
 
     let sizes = [64 * 1024, 128 * 1024, 256 * 1024];
     let mut table = Table::new(vec!["workload", "CRA-64KB", "CRA-128KB", "CRA-256KB"]);
     let mut means: [Vec<f64>; 3] = [vec![], vec![], vec![]];
     for spec in &registry::ALL {
-        let baseline = run_workload(spec, TrackerKind::Baseline, &scale);
+        let baseline = run_workload(spec, TrackerKind::Baseline, &scale).expect("workload run");
         let mut cells = vec![spec.name.to_string()];
         for (i, &cache_bytes) in sizes.iter().enumerate() {
-            let run = run_workload(spec, TrackerKind::Cra { cache_bytes }, &scale);
+            let run =
+                run_workload(spec, TrackerKind::Cra { cache_bytes }, &scale).expect("workload run");
             let norm = run.result.normalized_to(&baseline.result);
             cells.push(format!("{norm:.3}"));
             means[i].push(norm);
@@ -39,6 +43,10 @@ fn main() {
     println!("\nPaper: 0.742 at 64 KB -> 0.832 at 256 KB (still a big slowdown).");
     println!(
         "Shape check: larger cache helps but slowdown remains ({g64:.3} -> {g256:.3}): {}",
-        if g256 >= g64 && g256 < 0.995 { "OK" } else { "MISMATCH" }
+        if g256 >= g64 && g256 < 0.995 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
 }

@@ -13,11 +13,15 @@ use hydra_workloads::{registry, Suite};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("\n=== Figure 5: normalized performance (scale S={}, {} instrs/core) ===\n",
-        scale.scale, scale.instructions_per_core);
+    println!(
+        "\n=== Figure 5: normalized performance (scale S={}, {} instrs/core) ===\n",
+        scale.scale, scale.instructions_per_core
+    );
 
     let kinds = [
-        TrackerKind::Cra { cache_bytes: 64 * 1024 },
+        TrackerKind::Cra {
+            cache_bytes: 64 * 1024,
+        },
         TrackerKind::Graphene,
         TrackerKind::Hydra,
     ];
@@ -31,10 +35,10 @@ fn main() {
     let mut all: [Vec<f64>; 3] = [vec![], vec![], vec![]];
 
     for spec in &registry::ALL {
-        let baseline = run_workload(spec, TrackerKind::Baseline, &scale);
+        let baseline = run_workload(spec, TrackerKind::Baseline, &scale).expect("workload run");
         let mut cells = vec![spec.name.to_string(), spec.suite.label().to_string()];
         for (k, kind) in kinds.iter().enumerate() {
-            let run = run_workload(spec, *kind, &scale);
+            let run = run_workload(spec, *kind, &scale).expect("workload run");
             let norm = run.result.normalized_to(&baseline.result);
             cells.push(format!("{norm:.3}"));
             all[k].push(norm);
@@ -71,6 +75,10 @@ fn main() {
     println!("\nPaper: CRA ~0.75 (25 % slowdown), Graphene ~0.999, Hydra ~0.993.");
     println!(
         "Shape check: CRA ({cra:.3}) < Hydra ({hydra:.3}) <= ~Graphene ({graphene:.3}): {}",
-        if cra < hydra && hydra <= graphene + 0.02 { "OK" } else { "MISMATCH" }
+        if cra < hydra && hydra <= graphene + 0.02 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
 }

@@ -27,14 +27,13 @@ fn main() {
     let mut sums = [0.0f64; 3];
 
     for spec in &registry::ALL {
-        let hydra = scaled_hydra(geom, 0, &scale, 250, 200, 32_768, 8_192, true, true);
+        let hydra =
+            scaled_hydra(geom, 0, &scale, 250, 200, 32_768, 8_192, true, true).expect("hydra");
         let timing = DramTiming::ddr4_3200().with_scaled_window(scale.scale);
         // Pace activations to the workload's Table-3 rate: `expected`
         // activations per window on this channel (half the system total).
-        let acts_per_window =
-            (spec.expected_activations(scale.scale) / 2.0).max(1.0);
-        let cycles_per_act =
-            ((timing.refresh_window as f64 / acts_per_window) as u64).max(1);
+        let acts_per_window = (spec.expected_activations(scale.scale) / 2.0).max(1.0);
+        let cycles_per_act = ((timing.refresh_window as f64 / acts_per_window) as u64).max(1);
         let mut sim = ActivationSim::new(geom, hydra)
             .with_timing(timing)
             .with_cycles_per_activation(cycles_per_act);

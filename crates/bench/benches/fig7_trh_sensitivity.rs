@@ -26,7 +26,10 @@ fn hydra_for_trh(t_rh: u32) -> TrackerKind {
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("\n=== Figure 7: Hydra slowdown vs T_RH (S={}) ===\n", scale.scale);
+    println!(
+        "\n=== Figure 7: Hydra slowdown vs T_RH (S={}) ===\n",
+        scale.scale
+    );
 
     let thresholds = [500u32, 250, 125];
     let suites = [Suite::Spec2017, Suite::Parsec, Suite::Gap, Suite::Gups];
@@ -35,9 +38,9 @@ fn main() {
     let mut by_suite: Vec<Vec<Vec<f64>>> = vec![vec![vec![]; thresholds.len()]; suites.len()];
 
     for spec in &registry::ALL {
-        let baseline = run_workload(spec, TrackerKind::Baseline, &scale);
+        let baseline = run_workload(spec, TrackerKind::Baseline, &scale).expect("workload run");
         for (t, &t_rh) in thresholds.iter().enumerate() {
-            let run = run_workload(spec, hydra_for_trh(t_rh), &scale);
+            let run = run_workload(spec, hydra_for_trh(t_rh), &scale).expect("workload run");
             let slowdown = run.result.slowdown_pct(&baseline.result);
             all[t].push(1.0 + slowdown / 100.0);
             let s = suites.iter().position(|&s| s == spec.suite).expect("suite");
@@ -46,8 +49,8 @@ fn main() {
     }
     for (s, suite) in suites.iter().enumerate() {
         let mut cells = vec![suite.label().to_string()];
-        for t in 0..thresholds.len() {
-            cells.push(format!("{:.2}%", (geometric_mean(&by_suite[s][t]) - 1.0) * 100.0));
+        for ratios in by_suite[s].iter().take(thresholds.len()) {
+            cells.push(format!("{:.2}%", (geometric_mean(ratios) - 1.0) * 100.0));
         }
         table.row(cells);
     }
@@ -68,6 +71,10 @@ fn main() {
         overall[0],
         overall[1],
         overall[2],
-        if overall[0] <= overall[1] + 0.3 && overall[1] <= overall[2] + 0.3 { "OK" } else { "MISMATCH" }
+        if overall[0] <= overall[1] + 0.3 && overall[1] <= overall[2] + 0.3 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
 }

@@ -8,35 +8,44 @@ use hydra_workloads::registry;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("\n=== Figure 8: Hydra component ablation (S={}) ===\n", scale.scale);
+    println!(
+        "\n=== Figure 8: Hydra component ablation (S={}) ===\n",
+        scale.scale
+    );
 
     let variants = [
-        ("Hydra-NoGCT", TrackerKind::HydraCustom {
-            t_h: 250,
-            t_g: 200,
-            gct_total: 32_768,
-            rcc_total: 8_192,
-            use_gct: false,
-            use_rcc: true,
-        }),
-        ("Hydra-NoRCC", TrackerKind::HydraCustom {
-            t_h: 250,
-            t_g: 200,
-            gct_total: 32_768,
-            rcc_total: 8_192,
-            use_gct: true,
-            use_rcc: false,
-        }),
+        (
+            "Hydra-NoGCT",
+            TrackerKind::HydraCustom {
+                t_h: 250,
+                t_g: 200,
+                gct_total: 32_768,
+                rcc_total: 8_192,
+                use_gct: false,
+                use_rcc: true,
+            },
+        ),
+        (
+            "Hydra-NoRCC",
+            TrackerKind::HydraCustom {
+                t_h: 250,
+                t_g: 200,
+                gct_total: 32_768,
+                rcc_total: 8_192,
+                use_gct: true,
+                use_rcc: false,
+            },
+        ),
         ("Hydra", TrackerKind::Hydra),
     ];
 
     let mut table = Table::new(vec!["workload", "Hydra-NoGCT", "Hydra-NoRCC", "Hydra"]);
     let mut norms: [Vec<f64>; 3] = [vec![], vec![], vec![]];
     for spec in &registry::ALL {
-        let baseline = run_workload(spec, TrackerKind::Baseline, &scale);
+        let baseline = run_workload(spec, TrackerKind::Baseline, &scale).expect("workload run");
         let mut cells = vec![spec.name.to_string()];
         for (i, (_, kind)) in variants.iter().enumerate() {
-            let run = run_workload(spec, *kind, &scale);
+            let run = run_workload(spec, *kind, &scale).expect("workload run");
             let norm = run.result.normalized_to(&baseline.result);
             cells.push(format!("{norm:.3}"));
             norms[i].push(norm);
@@ -58,6 +67,10 @@ fn main() {
     println!("\nPaper: NoGCT ~0.83 (20 % slowdown), NoRCC ~0.957 (4.5 %), Hydra ~0.993 (0.7 %).");
     println!(
         "Shape check: NoGCT ({no_gct:.3}) < NoRCC ({no_rcc:.3}) <= Hydra ({full:.3}): {}",
-        if no_gct < no_rcc && no_rcc <= full + 0.005 { "OK" } else { "MISMATCH" }
+        if no_gct < no_rcc && no_rcc <= full + 0.005 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
 }

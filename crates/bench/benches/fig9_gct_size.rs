@@ -27,7 +27,10 @@ fn hydra_with_gct(gct_total: usize) -> TrackerKind {
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("\n=== Figure 9: Hydra slowdown vs GCT size (S={}) ===\n", scale.scale);
+    println!(
+        "\n=== Figure 9: Hydra slowdown vs GCT size (S={}) ===\n",
+        scale.scale
+    );
 
     let sizes = [16_384usize, 32_768, 65_536];
     let suites = [Suite::Spec2017, Suite::Parsec, Suite::Gap, Suite::Gups];
@@ -35,9 +38,9 @@ fn main() {
     let mut all: Vec<Vec<f64>> = vec![vec![]; sizes.len()];
 
     for spec in &registry::ALL {
-        let baseline = run_workload(spec, TrackerKind::Baseline, &scale);
+        let baseline = run_workload(spec, TrackerKind::Baseline, &scale).expect("workload run");
         for (i, &size) in sizes.iter().enumerate() {
-            let run = run_workload(spec, hydra_with_gct(size), &scale);
+            let run = run_workload(spec, hydra_with_gct(size), &scale).expect("workload run");
             let ratio = 1.0 + run.result.slowdown_pct(&baseline.result) / 100.0;
             all[i].push(ratio);
             let s = suites.iter().position(|&s| s == spec.suite).expect("suite");
@@ -48,8 +51,8 @@ fn main() {
     let mut table = Table::new(vec!["suite", "GCT=16K", "GCT=32K", "GCT=64K"]);
     for (s, suite) in suites.iter().enumerate() {
         let mut cells = vec![suite.label().to_string()];
-        for i in 0..sizes.len() {
-            cells.push(format!("{:.2}%", (geometric_mean(&by_suite[s][i]) - 1.0) * 100.0));
+        for ratios in by_suite[s].iter().take(sizes.len()) {
+            cells.push(format!("{:.2}%", (geometric_mean(ratios) - 1.0) * 100.0));
         }
         table.row(cells);
     }
@@ -72,6 +75,10 @@ fn main() {
         overall[0],
         overall[1],
         overall[2],
-        if overall[0] >= overall[1] - 0.2 && overall[1] >= overall[2] - 0.2 { "OK" } else { "MISMATCH" }
+        if overall[0] >= overall[1] - 0.2 && overall[1] >= overall[2] - 0.2 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
 }

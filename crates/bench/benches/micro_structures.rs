@@ -69,9 +69,8 @@ fn full_tracker_bench(c: &mut Criterion) {
         })
     });
 
-    let mut graphene = Graphene::new(
-        GrapheneConfig::for_threshold(geom, 0, 500, 1_360_000).unwrap(),
-    );
+    let mut graphene =
+        Graphene::new(GrapheneConfig::for_threshold(geom, 0, 500, 1_360_000).unwrap());
     let mut j = 0u32;
     group.bench_function("graphene", |b| {
         b.iter(|| {
@@ -112,5 +111,11 @@ fn full_tracker_bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gct, bench_rcc, bench_misra_gries, full_tracker_bench);
+criterion_group!(
+    benches,
+    bench_gct,
+    bench_rcc,
+    bench_misra_gries,
+    full_tracker_bench
+);
 criterion_main!(benches);

@@ -14,7 +14,10 @@ fn main() {
     let scale = ExperimentScale::from_env();
     let clock = Clock::ddr4_3200();
     let energy_model = DramEnergyModel::ddr4_3200();
-    println!("\n=== Section 6.8: power analysis (S={}) ===\n", scale.scale);
+    println!(
+        "\n=== Section 6.8: power analysis (S={}) ===\n",
+        scale.scale
+    );
 
     // DRAM side: compare energy with and without Hydra on the most
     // memory-intensive workloads.
@@ -27,21 +30,22 @@ fn main() {
     let mut overheads = Vec::new();
     for name in ["bwaves", "parest", "mcf", "bc_t", "gups", "stream"] {
         let spec = registry::by_name(name).expect("registered");
-        let base = run_workload(spec, TrackerKind::Baseline, &scale);
-        let hydra = run_workload(spec, TrackerKind::Hydra, &scale);
+        let base = run_workload(spec, TrackerKind::Baseline, &scale).expect("workload run");
+        let hydra = run_workload(spec, TrackerKind::Hydra, &scale).expect("workload run");
         let energy = |run: &hydra_bench::WorkloadRun| -> f64 {
-            let counters = run.result.controllers.iter().fold(
-                PowerCounters::default(),
-                |acc, c| {
-                    acc.combined(PowerCounters {
-                        activations: c.demand_acts + c.mitigation_acts + c.side_acts,
-                        reads: c.reads_done + c.side_done / 2,
-                        writes: c.writes_done + c.side_done / 2,
-                        precharges: c.demand_acts,
-                        refreshes: 0,
-                    })
-                },
-            );
+            let counters =
+                run.result
+                    .controllers
+                    .iter()
+                    .fold(PowerCounters::default(), |acc, c| {
+                        acc.combined(PowerCounters {
+                            activations: c.demand_acts + c.mitigation_acts + c.side_acts,
+                            reads: c.reads_done + c.side_done / 2,
+                            writes: c.writes_done + c.side_done / 2,
+                            precharges: c.demand_acts,
+                            refreshes: 0,
+                        })
+                    });
             energy_model
                 .energy(&counters, run.result.cycles, 2, &clock)
                 .total_nj()
@@ -60,7 +64,9 @@ fn main() {
     }
     table.print();
     let mean = overheads.iter().sum::<f64>() / overheads.len() as f64;
-    println!("\nMean DRAM dynamic-energy overhead: {mean:.2}% (paper: ~0.2 % of total DRAM power).");
+    println!(
+        "\nMean DRAM dynamic-energy overhead: {mean:.2}% (paper: ~0.2 % of total DRAM power)."
+    );
 
     // SRAM side.
     let sram = SramPowerModel::cacti_22nm();
@@ -73,10 +79,17 @@ fn main() {
     println!("\nSRAM power (CACTI-substitute model at 22 nm):");
     println!("  GCT (32 KB): {gct_mw:.1} mW   (paper: 10.6 mW)");
     println!("  RCC (24 KB): {rcc_mw:.1} mW   (paper: 8.0 mW)");
-    println!("  total      : {:.1} mW   (paper: 18.6 mW)", gct_mw + rcc_mw);
+    println!(
+        "  total      : {:.1} mW   (paper: 18.6 mW)",
+        gct_mw + rcc_mw
+    );
     let total = gct_mw + rcc_mw;
     println!(
         "Shape check: tens of mW, negligible vs DRAM ({total:.1} mW in [5, 60]): {}",
-        if (5.0..60.0).contains(&total) { "OK" } else { "MISMATCH" }
+        if (5.0..60.0).contains(&total) {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
 }

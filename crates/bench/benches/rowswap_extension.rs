@@ -56,7 +56,7 @@ fn main() {
             let mut sim = SystemSim::new(config, |core| {
                 spec.build(geometry, s, seed ^ (core as u64).wrapping_mul(0x9E37))
             })
-            .with_trackers(|ch| tracker.build(geometry, ch, &scale));
+            .with_trackers(|ch| tracker.build(geometry, ch, &scale).expect("tracker"));
             sim.run()
         };
         let baseline = {

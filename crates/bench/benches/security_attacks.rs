@@ -21,7 +21,7 @@ struct AttackOutcome {
 
 fn run_attack(pattern: &AttackPattern, acts: u64, scale: &ExperimentScale) -> AttackOutcome {
     let geom = MemGeometry::isca22_baseline();
-    let hydra = scaled_hydra(geom, 0, scale, 250, 200, 32_768, 8_192, true, true);
+    let hydra = scaled_hydra(geom, 0, scale, 250, 200, 32_768, 8_192, true, true).expect("hydra");
     let t_h = hydra.config().t_h;
     let mut sim = ActivationSim::new(geom, hydra)
         .with_timing(DramTiming::ddr4_3200().with_scaled_window(scale.scale));
@@ -37,9 +37,9 @@ fn run_attack(pattern: &AttackPattern, acts: u64, scale: &ExperimentScale) -> At
     for _ in 0..acts {
         let mut row = rows.next_row();
         row.channel = 0; // the per-channel tracker under test
-        // Theorem-1 bounds unmitigated activations *within a tracking
-        // window*; across a reset a row may legally accumulate up to
-        // 2·T_H − 1 (hence T_H = T_RH / 2, Sec. 4.6). Audit per window.
+                         // Theorem-1 bounds unmitigated activations *within a tracking
+                         // window*; across a reset a row may legally accumulate up to
+                         // 2·T_H − 1 (hence T_H = T_RH / 2, Sec. 4.6). Audit per window.
         if sim.report().window_resets > seen_resets {
             seen_resets = sim.report().window_resets;
             oracle.clear();
@@ -82,9 +82,15 @@ fn main() {
     let patterns = [
         AttackPattern::SingleSided { aggressor: victim },
         AttackPattern::DoubleSided { victim },
-        AttackPattern::ManySided { first: victim, n: 16 },
+        AttackPattern::ManySided {
+            first: victim,
+            n: 16,
+        },
         AttackPattern::HalfDouble { victim, ratio: 16 },
-        AttackPattern::Thrash { rows: 200_000, seed: 11 },
+        AttackPattern::Thrash {
+            rows: 200_000,
+            seed: 11,
+        },
     ];
 
     let mut table = Table::new(vec![
@@ -110,13 +116,8 @@ fn main() {
 
     // Counter-row attack (Sec. 5.2.2): hammer the reserved RCT rows through
     // tracker-side pressure; RIT-ACT must mitigate them.
-    let hydra = scaled_hydra(geom, 0, &scale, 250, 200, 32_768, 8_192, true, true);
-    let reserved = RowAddr::new(
-        0,
-        0,
-        geom.banks_per_rank() - 1,
-        geom.rows_per_bank() - 1,
-    );
+    let hydra = scaled_hydra(geom, 0, &scale, 250, 200, 32_768, 8_192, true, true).expect("hydra");
+    let reserved = RowAddr::new(0, 0, geom.banks_per_rank() - 1, geom.rows_per_bank() - 1);
     assert!(hydra.is_reserved_row(reserved));
     let mut sim = ActivationSim::new(geom, hydra)
         .with_timing(DramTiming::ddr4_3200().with_scaled_window(scale.scale));
@@ -127,7 +128,10 @@ fn main() {
     println!("\nCounter-row attack: 100000 ACTs on an RCT row -> {rit} RIT-ACT mitigations");
     // Window resets drop partial RIT counts (the run spans ~18 scaled
     // windows), so allow one lost mitigation per window.
-    assert!(rit >= 100_000 / 250 - 25, "RIT-ACT must protect RCT rows: {rit}");
+    assert!(
+        rit >= 100_000 / 250 - 25,
+        "RIT-ACT must protect RCT rows: {rit}"
+    );
 
     println!(
         "\nSec. 5.3 bound: worst-case inflation {:.2}x (paper argues ~2x extra activations worst case): {}",

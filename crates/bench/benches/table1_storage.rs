@@ -37,9 +37,7 @@ fn paper_claim(t_rh: u32, scheme: Scheme) -> &'static str {
 
 fn main() {
     println!("\n=== Table 1: per-rank storage of prior trackers (16 GB rank, DDR4) ===\n");
-    let mut table = Table::new(vec![
-        "T_RH", "scheme", "model", "paper", "goal",
-    ]);
+    let mut table = Table::new(vec!["T_RH", "scheme", "model", "paper", "goal"]);
     for t_rh in [250u32, 500, 1000, 32_000] {
         for scheme in Scheme::ALL {
             let bytes = scheme.bytes_per_rank(t_rh, DDR4_BANKS_PER_RANK);
@@ -48,7 +46,11 @@ fn main() {
                 scheme.name().to_string(),
                 fmt_bytes(bytes),
                 paper_claim(t_rh, scheme).to_string(),
-                if t_rh == 32_000 { "-".into() } else { "<= 64 KB".into() },
+                if t_rh == 32_000 {
+                    "-".into()
+                } else {
+                    "<= 64 KB".into()
+                },
             ]);
         }
     }

@@ -52,7 +52,11 @@ fn main() {
             format!("{unique} / {}", (spec.unique_rows / scale.scale).max(8)),
             format!(
                 "{hot} / {}",
-                if spec.act250_rows == 0 { 0 } else { (spec.act250_rows / scale.scale).max(1) }
+                if spec.act250_rows == 0 {
+                    0
+                } else {
+                    (spec.act250_rows / scale.scale).max(1)
+                }
             ),
             format!("{:.1} / {:.1}", acts_per_row, spec.acts_per_row),
         ]);

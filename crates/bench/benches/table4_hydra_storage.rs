@@ -45,5 +45,9 @@ fn main() {
         fmt_bytes(storage.rct_dram_bytes),
         frac * 100.0
     );
-    assert_eq!(storage.total_sram_bytes(), 57_856, "must match the paper's 56.5 KB");
+    assert_eq!(
+        storage.total_sram_bytes(),
+        57_856,
+        "must match the paper's 56.5 KB"
+    );
 }

@@ -17,7 +17,11 @@ fn main() {
     );
 
     println!("\n=== Table 5: total SRAM overhead, 32 GB system, T_RH = 500 ===\n");
-    let mut table = Table::new(vec!["scheme", "DDR4 (16 banks/rank)", "DDR5 (32 banks/rank)"]);
+    let mut table = Table::new(vec![
+        "scheme",
+        "DDR4 (16 banks/rank)",
+        "DDR5 (32 banks/rank)",
+    ]);
     for scheme in [Scheme::Graphene, Scheme::Twice, Scheme::Cat, Scheme::Dcbf] {
         let ddr4 = scheme.bytes_per_rank(500, DDR4_BANKS_PER_RANK) * RANKS;
         let ddr5 = if scheme.scales_with_banks() {

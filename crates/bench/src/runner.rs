@@ -3,6 +3,7 @@
 use hydra_baselines::{Cra, CraConfig, Graphene, GrapheneConfig, Ocpr, Para};
 use hydra_core::{Hydra, HydraConfig};
 use hydra_sim::{SystemConfig, SystemSim};
+use hydra_types::error::ConfigError;
 use hydra_types::geometry::MemGeometry;
 use hydra_types::tracker::{ActivationTracker, NullTracker};
 use hydra_workloads::WorkloadSpec;
@@ -133,16 +134,23 @@ impl TrackerKind {
     }
 
     /// Builds the tracker for one channel under the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the scaled configuration is invalid for
+    /// the geometry (e.g. structures that cannot shrink far enough).
     pub fn build(
         &self,
         geometry: MemGeometry,
         channel: u8,
         scale: &ExperimentScale,
-    ) -> Box<dyn ActivationTracker> {
+    ) -> Result<Box<dyn ActivationTracker>, ConfigError> {
         let channels = usize::from(geometry.channels());
-        match *self {
+        Ok(match *self {
             TrackerKind::Baseline => Box::new(NullTracker),
-            TrackerKind::Hydra => self.build_hydra(geometry, channel, scale, 250, 200, 32_768, 8_192, true, true),
+            TrackerKind::Hydra => Box::new(scaled_hydra(
+                geometry, channel, scale, 250, 200, 32_768, 8_192, true, true,
+            )?),
             TrackerKind::HydraCustom {
                 t_h,
                 t_g,
@@ -150,53 +158,40 @@ impl TrackerKind {
                 rcc_total,
                 use_gct,
                 use_rcc,
-            } => self.build_hydra(
+            } => Box::new(scaled_hydra(
                 geometry, channel, scale, t_h, t_g, gct_total, rcc_total, use_gct, use_rcc,
-            ),
+            )?),
             TrackerKind::Graphene => {
                 // ACT_max shrinks with the window.
                 let act_max = 1_360_000 / scale.scale.max(1);
                 let config =
-                    GrapheneConfig::for_threshold(geometry, channel, 500, act_max.max(1000))
-                        .expect("graphene config");
+                    GrapheneConfig::for_threshold(geometry, channel, 500, act_max.max(1000))?;
                 Box::new(Graphene::new(config))
             }
             TrackerKind::Cra { cache_bytes } => {
                 let scaled =
                     (cache_bytes as u64 / scale.structure_divisor()).max(512) as usize * channels;
-                let config = CraConfig::for_threshold(geometry, channel, 500, scaled)
-                    .expect("cra config");
-                Box::new(Cra::new(config).expect("cra"))
+                let config = CraConfig::for_threshold(geometry, channel, 500, scaled)?;
+                Box::new(Cra::new(config)?)
             }
-            TrackerKind::Para => {
-                Box::new(Para::for_threshold(500, 1e-6, scale.seed ^ u64::from(channel)).expect("para"))
-            }
-            TrackerKind::Ocpr => Box::new(Ocpr::new(geometry, channel, 250).expect("ocpr")),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn build_hydra(
-        &self,
-        geometry: MemGeometry,
-        channel: u8,
-        scale: &ExperimentScale,
-        t_h: u32,
-        t_g: u32,
-        gct_total: usize,
-        rcc_total: usize,
-        use_gct: bool,
-        use_rcc: bool,
-    ) -> Box<dyn ActivationTracker> {
-        Box::new(scaled_hydra(
-            geometry, channel, scale, t_h, t_g, gct_total, rcc_total, use_gct, use_rcc,
-        ))
+            TrackerKind::Para => Box::new(Para::for_threshold(
+                500,
+                1e-6,
+                scale.seed ^ u64::from(channel),
+            )?),
+            TrackerKind::Ocpr => Box::new(Ocpr::new(geometry, channel, 250)?),
+        })
     }
 }
 
 /// Builds a concrete scaled Hydra instance (entry totals given at paper
 /// scale; divided by `S` and floored). Used by bench targets that need
 /// Hydra-specific statistics (Figs. 6, 9, 10).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the scaled entry counts are invalid for the
+/// geometry.
 #[allow(clippy::too_many_arguments)]
 pub fn scaled_hydra(
     geometry: MemGeometry,
@@ -208,7 +203,7 @@ pub fn scaled_hydra(
     rcc_total: usize,
     use_gct: bool,
     use_rcc: bool,
-) -> Hydra {
+) -> Result<Hydra, ConfigError> {
     let channels = usize::from(geometry.channels());
     let gct = scale.scaled_entries(gct_total / channels, 16);
     let rcc = scale.scaled_entries(rcc_total / channels, 8);
@@ -224,7 +219,7 @@ pub fn scaled_hydra(
     if !use_rcc {
         builder.without_rcc();
     }
-    Hydra::new(builder.build().expect("hydra config")).expect("hydra")
+    Hydra::new(builder.build()?)
 }
 
 /// The outcome of one workload × tracker run.
@@ -241,26 +236,45 @@ pub struct WorkloadRun {
 }
 
 /// Runs one workload under one tracker at the given scale.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the tracker cannot be built for the scaled
+/// geometry.
 pub fn run_workload(
     spec: &WorkloadSpec,
     kind: TrackerKind,
     scale: &ExperimentScale,
-) -> WorkloadRun {
+) -> Result<WorkloadRun, ConfigError> {
     let config = scale.system_config();
     let geometry = config.geometry;
     let seed = scale.seed;
     let workload_scale = scale.scale;
+    // Build (and thereby validate) all per-channel trackers up front, so
+    // the infallible with_trackers closure only hands them out.
+    let mut trackers: Vec<Option<Box<dyn ActivationTracker>>> = (0..geometry.channels())
+        .map(|ch| kind.build(geometry, ch, scale).map(Some))
+        .collect::<Result<_, _>>()?;
     let mut sim = SystemSim::new(config, |core| {
-        spec.build(geometry, workload_scale, seed ^ (core as u64).wrapping_mul(0x9E37))
+        spec.build(
+            geometry,
+            workload_scale,
+            seed ^ (core as u64).wrapping_mul(0x9E37),
+        )
     })
-    .with_trackers(|ch| kind.build(geometry, ch, scale));
+    .with_trackers(|ch| {
+        trackers
+            .get_mut(usize::from(ch))
+            .and_then(Option::take)
+            .unwrap_or_else(|| Box::new(NullTracker))
+    });
     let result = sim.run();
-    WorkloadRun {
+    Ok(WorkloadRun {
         workload: spec.name.to_string(),
         tracker: kind.label(),
         cycles: result.cycles,
         result,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -280,8 +294,8 @@ mod tests {
     fn baseline_and_hydra_runs_complete() {
         let spec = registry::by_name("gups").unwrap();
         let scale = quick_scale();
-        let base = run_workload(spec, TrackerKind::Baseline, &scale);
-        let hydra = run_workload(spec, TrackerKind::Hydra, &scale);
+        let base = run_workload(spec, TrackerKind::Baseline, &scale).expect("baseline run");
+        let hydra = run_workload(spec, TrackerKind::Hydra, &scale).expect("hydra run");
         assert!(base.cycles > 0);
         assert!(hydra.cycles >= base.cycles / 2);
     }
@@ -331,7 +345,7 @@ mod tests {
                 use_rcc: false,
             },
         ] {
-            let t = kind.build(geom, 0, &s);
+            let t = kind.build(geom, 0, &s).expect("tracker builds");
             assert!(!t.name().is_empty());
         }
     }

@@ -46,6 +46,11 @@ pub struct HydraConfig {
     pub rcc_entries: usize,
     /// RCC associativity.
     pub rcc_ways: usize,
+    /// Write evicted RCC counters back to the RCT (on by default). Turning
+    /// this off drops the evicted count — an *insecure* design used only as
+    /// a witness in security studies: an attacker can reset a victim's count
+    /// by forcing evictions, so no per-row bound holds.
+    pub rcc_writeback: bool,
     /// Enable the GCT (disable for the Hydra-NoGCT ablation of Fig. 8; every
     /// activation then takes the per-row path).
     pub use_gct: bool,
@@ -104,14 +109,16 @@ impl HydraConfig {
             )));
         }
         let channels = usize::from(geometry.channels());
+        let rows = geometry.rows_per_channel() as usize;
         let scale = (500.0 / t_rh as f64).max(1.0);
         let scale_pow2 = (scale.round() as usize).next_power_of_two();
         let t_h = t_rh / 2;
         let t_g = (t_h * 4) / 5;
         HydraConfig::builder(geometry, channel)
             .thresholds(t_h, t_g.max(1))
-            .gct_entries((defaults::GCT_ENTRIES_TOTAL / channels) * scale_pow2)
-            .rcc_entries((defaults::RCC_ENTRIES_TOTAL / channels) * scale_pow2)
+            // Clamped for small test geometries; a no-op at the paper scale.
+            .gct_entries(((defaults::GCT_ENTRIES_TOTAL / channels) * scale_pow2).min(rows))
+            .rcc_entries(((defaults::RCC_ENTRIES_TOTAL / channels) * scale_pow2).min(rows))
             .rcc_ways(defaults::RCC_WAYS)
             .build()
     }
@@ -136,7 +143,8 @@ pub struct HydraConfigBuilder {
     t_g: u32,
     gct_entries: usize,
     rcc_entries: usize,
-    rcc_ways: usize,
+    rcc_ways: Option<usize>,
+    rcc_writeback: bool,
     use_gct: bool,
     use_rcc: bool,
     count_mitigation_acts: bool,
@@ -156,7 +164,8 @@ impl HydraConfigBuilder {
             // larger than the row count it aggregates.
             gct_entries: (defaults::GCT_ENTRIES_TOTAL / channels).min(rows),
             rcc_entries: (defaults::RCC_ENTRIES_TOTAL / channels).min(rows),
-            rcc_ways: defaults::RCC_WAYS,
+            rcc_ways: None,
+            rcc_writeback: true,
             use_gct: true,
             use_rcc: true,
             count_mitigation_acts: true,
@@ -184,9 +193,22 @@ impl HydraConfigBuilder {
         self
     }
 
-    /// Sets the RCC associativity.
+    /// Sets the RCC associativity explicitly. `ways` must be nonzero, no
+    /// larger than the entry count, and must divide it evenly; violations
+    /// are rejected by [`build`](Self::build). If never called, the
+    /// associativity defaults to `min(16, rcc_entries)`.
     pub fn rcc_ways(&mut self, ways: usize) -> &mut Self {
-        self.rcc_ways = ways;
+        self.rcc_ways = Some(ways);
+        self
+    }
+
+    /// Controls whether evicted RCC counters are written back to the RCT
+    /// (default: true). Disabling write-back is **insecure** — evicted
+    /// counts are silently dropped, so an attacker who forces evictions can
+    /// reset a victim row's count arbitrarily often. Exposed only so the
+    /// security-analysis tooling can demonstrate the resulting violation.
+    pub fn rcc_writeback(&mut self, yes: bool) -> &mut Self {
+        self.rcc_writeback = yes;
         self
     }
 
@@ -223,7 +245,9 @@ impl HydraConfigBuilder {
     /// Returns [`ConfigError`] if thresholds are inconsistent (`T_G >= T_H`,
     /// `T_H < 2`, or `T_H > 255` so counts no longer fit the RCT's one-byte
     /// entries), entry counts are not powers of two, the GCT has more entries
-    /// than rows, or the RCC geometry is inconsistent.
+    /// than rows or does not divide the row count evenly, or the RCC
+    /// geometry is inconsistent (explicit `rcc_ways` of zero, exceeding the
+    /// entry count, or not dividing it).
     pub fn build(&self) -> Result<HydraConfig, ConfigError> {
         if self.channel >= self.geometry.channels() {
             return Err(ConfigError::new(format!(
@@ -263,19 +287,42 @@ impl HydraConfigBuilder {
                 self.gct_entries
             )));
         }
+        if !rows.is_multiple_of(self.gct_entries as u64) {
+            // Unreachable with today's power-of-two geometries, but kept so
+            // `rows_per_group` can never silently truncate: rows outside the
+            // last full group would escape GCT aggregation entirely.
+            return Err(ConfigError::new(format!(
+                "GCT entry count {} does not divide channel rows {rows}; \
+                 {} rows would be untracked",
+                self.gct_entries,
+                rows % self.gct_entries as u64
+            )));
+        }
         if !self.rcc_entries.is_power_of_two() {
             return Err(ConfigError::new(format!(
                 "RCC entry count {} must be a power of two",
                 self.rcc_entries
             )));
         }
-        let ways = self.rcc_ways.min(self.rcc_entries).max(1);
-        if self.rcc_entries % ways != 0 {
-            return Err(ConfigError::new(format!(
-                "RCC entries {} not divisible by ways {ways}",
-                self.rcc_entries
-            )));
-        }
+        let ways = match self.rcc_ways {
+            // An explicitly requested associativity is validated, never
+            // silently adjusted.
+            Some(0) => return Err(ConfigError::new("RCC ways must be nonzero")),
+            Some(w) if w > self.rcc_entries => {
+                return Err(ConfigError::new(format!(
+                    "RCC ways {w} exceeds entry count {}",
+                    self.rcc_entries
+                )));
+            }
+            Some(w) if !self.rcc_entries.is_multiple_of(w) => {
+                return Err(ConfigError::new(format!(
+                    "RCC entries {} not divisible by ways {w}",
+                    self.rcc_entries
+                )));
+            }
+            Some(w) => w,
+            None => defaults::RCC_WAYS.min(self.rcc_entries).max(1),
+        };
         let indexer = match &self.indexer {
             Some(i) => i.clone(),
             None => GroupIndexer::static_for(rows, self.gct_entries as u64)?,
@@ -288,6 +335,7 @@ impl HydraConfigBuilder {
             gct_entries: self.gct_entries,
             rcc_entries: self.rcc_entries,
             rcc_ways: ways,
+            rcc_writeback: self.rcc_writeback,
             use_gct: self.use_gct,
             use_rcc: self.use_rcc,
             count_mitigation_acts: self.count_mitigation_acts,
@@ -334,8 +382,14 @@ mod tests {
     #[test]
     fn rejects_th_over_one_byte() {
         let g = MemGeometry::tiny();
-        assert!(HydraConfig::builder(g, 0).thresholds(256, 200).build().is_err());
-        assert!(HydraConfig::builder(g, 0).thresholds(255, 200).build().is_ok());
+        assert!(HydraConfig::builder(g, 0)
+            .thresholds(256, 200)
+            .build()
+            .is_err());
+        assert!(HydraConfig::builder(g, 0)
+            .thresholds(255, 200)
+            .build()
+            .is_ok());
     }
 
     #[test]
@@ -353,19 +407,79 @@ mod tests {
     #[test]
     fn rejects_gct_larger_than_rows() {
         let g = MemGeometry::tiny(); // 4096 rows in channel 0
-        assert!(HydraConfig::builder(g, 0).gct_entries(8192).build().is_err());
+        assert!(HydraConfig::builder(g, 0)
+            .gct_entries(8192)
+            .build()
+            .is_err());
         assert!(HydraConfig::builder(g, 0).gct_entries(4096).build().is_ok());
     }
 
     #[test]
-    fn ways_clamped_to_entries() {
+    fn rejects_ways_exceeding_entries() {
         let g = MemGeometry::tiny();
-        let c = HydraConfig::builder(g, 0)
+        let err = HydraConfig::builder(g, 0)
             .rcc_entries(8)
             .rcc_ways(16)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_zero_ways() {
+        let g = MemGeometry::tiny();
+        assert!(HydraConfig::builder(g, 0).rcc_ways(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_non_dividing_ways() {
+        let g = MemGeometry::tiny();
+        let err = HydraConfig::builder(g, 0)
+            .rcc_entries(16)
+            .rcc_ways(3)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn default_ways_adapt_to_small_rcc() {
+        // The *default* associativity (no explicit rcc_ways call) shrinks to
+        // fit small caches; explicit requests never do.
+        let g = MemGeometry::tiny();
+        let c = HydraConfig::builder(g, 0).rcc_entries(8).build().unwrap();
+        assert_eq!(c.rcc_ways, 8);
+        let c = HydraConfig::builder(g, 0).rcc_entries(64).build().unwrap();
+        assert_eq!(c.rcc_ways, defaults::RCC_WAYS);
+    }
+
+    #[test]
+    fn gct_entries_always_divide_rows() {
+        // `rows_per_group` must never truncate: every built config's group
+        // size times its entry count covers the channel exactly.
+        for g in [
+            MemGeometry::tiny(),
+            MemGeometry::isca22_baseline(),
+            MemGeometry::ddr5_32gb(),
+        ] {
+            for entries in [1usize, 16, 256, 4096] {
+                let c = HydraConfig::builder(g, 0)
+                    .gct_entries(entries)
+                    .build()
+                    .unwrap();
+                assert_eq!(c.rows_per_group() * entries as u64, c.rows_covered());
+            }
+        }
+    }
+
+    #[test]
+    fn writeback_defaults_on() {
+        let g = MemGeometry::tiny();
+        let c = HydraConfig::builder(g, 0).build().unwrap();
+        assert!(c.rcc_writeback);
+        let c = HydraConfig::builder(g, 0)
+            .rcc_writeback(false)
             .build()
             .unwrap();
-        assert_eq!(c.rcc_ways, 8);
+        assert!(!c.rcc_writeback);
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl GroupIndexer {
                 "row count {rows} must be a nonzero power of two"
             )));
         }
-        if groups == 0 || rows % groups != 0 {
+        if groups == 0 || !rows.is_multiple_of(groups) {
             return Err(ConfigError::new(format!(
                 "row count {rows} not divisible by group count {groups}"
             )));
@@ -126,7 +126,7 @@ fn feistel(value: u64, domain: u64, key: u64) -> u64 {
     let mut right = value & right_mask;
     for round in 0..4u64 {
         let round_key = key.rotate_left((round * 17) as u32) ^ round;
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             left ^= mix(right ^ round_key) & left_mask;
         } else {
             right ^= mix(left ^ round_key) & right_mask;

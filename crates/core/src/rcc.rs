@@ -69,7 +69,10 @@ impl RowCountCache {
             entries > 0 && entries.is_power_of_two(),
             "RCC entries must be a positive power of two, got {entries}"
         );
-        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "ways must divide entries"
+        );
         let nsets = entries / ways;
         assert!(
             nsets.is_power_of_two(),

@@ -245,7 +245,10 @@ mod tests {
         for bank in 0..4u8 {
             assert!(t.is_reserved(RowAddr::new(0, 0, bank, 1023)), "bank {bank}");
             assert!(!t.is_reserved(RowAddr::new(0, 0, bank, 1022)));
-            assert_eq!(t.reserved_index(RowAddr::new(0, 0, bank, 1023)), bank as usize);
+            assert_eq!(
+                t.reserved_index(RowAddr::new(0, 0, bank, 1023)),
+                bank as usize
+            );
         }
         assert!(!t.is_reserved(RowAddr::new(1, 0, 0, 1023)), "other channel");
     }

@@ -11,9 +11,7 @@ use hydra_types::addr::RowAddr;
 use hydra_types::clock::MemCycle;
 use hydra_types::error::ConfigError;
 use hydra_types::mitigation::MitigationRequest;
-use hydra_types::tracker::{
-    ActivationKind, ActivationTracker, SideRequest, TrackerResponse,
-};
+use hydra_types::tracker::{ActivationKind, ActivationTracker, SideRequest, TrackerResponse};
 
 /// One per-channel Hydra instance.
 ///
@@ -161,12 +159,16 @@ impl Hydra {
 
         if self.config.use_rcc {
             if let Some(evicted) = self.rcc.insert(slot, count) {
-                // Valid entries are always dirty: write the victim back.
-                self.rct.write(evicted.slot, evicted.count);
-                self.stats.side_writes += 1;
-                response
-                    .side_requests
-                    .push(SideRequest::write(self.rct.dram_row_of_slot(evicted.slot)));
+                if self.config.rcc_writeback {
+                    // Valid entries are always dirty: write the victim back.
+                    self.rct.write(evicted.slot, evicted.count);
+                    self.stats.side_writes += 1;
+                    response
+                        .side_requests
+                        .push(SideRequest::write(self.rct.dram_row_of_slot(evicted.slot)));
+                }
+                // else: insecure ablation — the evicted count is dropped, so
+                // the next miss on that row re-reads a stale RCT value.
             }
         } else {
             // No RCC: read-modify-write straight to DRAM.
@@ -555,9 +557,7 @@ mod tests {
             .thresholds(16, 12)
             .gct_entries(64)
             .rcc_entries(32)
-            .indexer(
-                crate::indexing::GroupIndexer::randomized_for(rows, 64, 0x1234).unwrap(),
-            );
+            .indexer(crate::indexing::GroupIndexer::randomized_for(rows, 64, 0x1234).unwrap());
         let mut h = Hydra::new(builder.build().unwrap()).unwrap();
         let row = RowAddr::new(0, 0, 0, 5);
         let mut spill_side_requests = 0;
@@ -586,14 +586,15 @@ mod tests {
             .thresholds(16, 12)
             .gct_entries(64)
             .rcc_entries(32)
-            .indexer(
-                crate::indexing::GroupIndexer::randomized_for(rows, 64, 0x1234).unwrap(),
-            );
+            .indexer(crate::indexing::GroupIndexer::randomized_for(rows, 64, 0x1234).unwrap());
         let mut h = Hydra::new(builder.build().unwrap()).unwrap();
         let before = h.config().indexer.slot_of_row(42);
         h.reset_window(0);
         let after = h.config().indexer.slot_of_row(42);
-        assert_ne!(before, after, "per-window re-keying must change the mapping");
+        assert_ne!(
+            before, after,
+            "per-window re-keying must change the mapping"
+        );
     }
 
     #[test]

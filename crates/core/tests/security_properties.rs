@@ -10,7 +10,7 @@
 //! invariant is that the oracle count never exceeds `T_H` — i.e. no row can
 //! accumulate `T_H` unmitigated activations.
 
-use hydra_core::{Hydra, HydraConfig, GroupIndexer};
+use hydra_core::{GroupIndexer, Hydra, HydraConfig};
 use hydra_types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -44,7 +44,7 @@ fn build_hydra(use_gct: bool, use_rcc: bool, randomized: bool) -> Hydra {
 fn check_guarantee(hydra: &mut Hydra, sequence: &[RowAddr], reset_every: usize) {
     let mut oracle: HashMap<RowAddr, u32> = HashMap::new();
     for (i, &row) in sequence.iter().enumerate() {
-        if reset_every > 0 && i > 0 && i % reset_every == 0 {
+        if reset_every > 0 && i > 0 && i.is_multiple_of(reset_every) {
             hydra.reset_window(i as u64);
             oracle.clear();
         }
@@ -152,7 +152,10 @@ fn double_sided_hammer_is_always_mitigated() {
     }
     // Sustained hammering must produce roughly one mitigation per T_H acts.
     let total = hydra.stats().mitigations;
-    assert!(total >= (2 * 5000 / T_H as u64) - 4, "only {total} mitigations");
+    assert!(
+        total >= (2 * 5000 / T_H as u64) - 4,
+        "only {total} mitigations"
+    );
 }
 
 #[test]
@@ -174,7 +177,10 @@ fn trrespass_style_thrash_cannot_escape() {
             mitigated += 1;
             target_count = 0;
         }
-        assert!(target_count <= T_H, "target escaped tracking at round {round}");
+        assert!(
+            target_count <= T_H,
+            "target escaped tracking at round {round}"
+        );
     }
     assert!(mitigated > 0);
 }

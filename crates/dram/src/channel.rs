@@ -184,7 +184,9 @@ impl DramChannel {
     pub fn can_read(&self, rank: u8, bank: u8, now: MemCycle) -> bool {
         now >= self.bus_free_at
             && !self.ranks[rank as usize].refresh().is_refreshing(now)
-            && self.ranks[rank as usize].bank(bank).can_read(&self.timing, now)
+            && self.ranks[rank as usize]
+                .bank(bank)
+                .can_read(&self.timing, now)
     }
 
     /// True if a column write is legal at `now`.
@@ -237,7 +239,9 @@ impl DramChannel {
     pub fn precharge(&mut self, rank: u8, bank: u8, now: MemCycle) {
         assert!(self.can_precharge(rank, bank, now), "illegal PRE at {now}");
         let timing = self.timing;
-        self.ranks[rank as usize].bank_mut(bank).precharge(&timing, now);
+        self.ranks[rank as usize]
+            .bank_mut(bank)
+            .precharge(&timing, now);
         self.stats.precharges += 1;
         self.power.precharges += 1;
     }

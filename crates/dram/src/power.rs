@@ -187,7 +187,10 @@ mod tests {
             &clk,
         );
         let refresh_mw = e.refresh_nj * 1e-9 / 0.064 * 1e3;
-        assert!(refresh_mw > 10.0 && refresh_mw < 200.0, "refresh {refresh_mw} mW");
+        assert!(
+            refresh_mw > 10.0 && refresh_mw < 200.0,
+            "refresh {refresh_mw} mW"
+        );
     }
 
     #[test]

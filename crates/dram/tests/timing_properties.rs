@@ -3,7 +3,7 @@
 //! must stay consistent under arbitrary interleavings.
 
 use hydra_dram::{DramChannel, DramTiming};
-use hydra_types::{MemGeometry, MemCycle};
+use hydra_types::{MemCycle, MemGeometry};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]

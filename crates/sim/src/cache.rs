@@ -127,7 +127,10 @@ mod tests {
     use super::*;
 
     fn setup() -> (CoreCaches, SharedLlc) {
-        (CoreCaches::new(1024, 2, 4096, 2), SharedLlc::new(16 * 1024, 4))
+        (
+            CoreCaches::new(1024, 2, 4096, 2),
+            SharedLlc::new(16 * 1024, 4),
+        )
     }
 
     #[test]
@@ -159,7 +162,11 @@ mod tests {
             c.access(LineAddr::new(i), false, &mut llc);
         }
         let r = c.access(LineAddr::new(0), false, &mut llc);
-        assert_eq!(r.hit_level, Some(3), "line 0 should only survive in the LLC");
+        assert_eq!(
+            r.hit_level,
+            Some(3),
+            "line 0 should only survive in the LLC"
+        );
     }
 
     #[test]
@@ -175,7 +182,10 @@ mod tests {
                 saw_writeback = true;
             }
         }
-        assert!(saw_writeback, "dirty line must eventually write back to DRAM");
+        assert!(
+            saw_writeback,
+            "dirty line must eventually write back to DRAM"
+        );
     }
 
     #[test]

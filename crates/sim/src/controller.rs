@@ -276,8 +276,12 @@ impl MemController {
                 MitigationPolicy::RowSwap { .. } => {
                     // Migrate the (logical row behind the) aggressor to a
                     // random physical row; charge the two full row copies as
-                    // side traffic (lines × {read,write} per row).
-                    let ind = self.indirection.as_mut().expect("RowSwap has indirection");
+                    // side traffic (lines × {read,write} per row). The
+                    // indirection table is always installed alongside the
+                    // RowSwap policy; skip the swap rather than panic if not.
+                    let Some(ind) = self.indirection.as_mut() else {
+                        continue;
+                    };
                     let logical = ind.logical_of(m.aggressor);
                     let old_phys = m.aggressor;
                     let new_phys = ind.swap(logical);
@@ -439,12 +443,10 @@ impl MemController {
                 break;
             }
         }
-        if let Some(i) = column_candidate {
-            let req = self.queue_mut(sel).remove(i).expect("index valid");
-            let is_write = matches!(
-                req.kind,
-                RequestKind::DemandWrite | RequestKind::SideWrite
-            );
+        // The candidate index came from the same queue a moment ago, so the
+        // remove cannot miss; the if-let just avoids a panic path.
+        if let Some(req) = column_candidate.and_then(|i| self.queue_mut(sel).remove(i)) {
+            let is_write = matches!(req.kind, RequestKind::DemandWrite | RequestKind::SideWrite);
             let done = if is_write {
                 self.dram.write(req.row.rank, req.row.bank, now)
             } else {
@@ -473,8 +475,7 @@ impl MemController {
         // that would serialize conflicts across banks.
         let queue = self.queue(sel);
         let mut seen_banks: u64 = 0;
-        for i in 0..queue.len().min(SCAN_DEPTH) {
-            let req = queue[i];
+        for &req in queue.iter().take(SCAN_DEPTH) {
             // Rate-limited rows may not be (re)activated; let younger
             // requests proceed around them.
             if self
@@ -491,26 +492,22 @@ impl MemController {
             }
             seen_banks |= bank_bit;
             match self.dram.open_row(rank, bank) {
-                None => {
-                    if self.dram.can_activate(rank, bank, now) {
-                        self.dram.activate(rank, bank, req.row.row, now);
-                        let kind = match req.kind {
-                            RequestKind::SideRead | RequestKind::SideWrite => {
-                                ActivationKind::TrackerSide
-                            }
-                            _ => ActivationKind::Demand,
-                        };
-                        self.notify_tracker(req.row, now, kind);
-                        return true;
-                    }
+                None if self.dram.can_activate(rank, bank, now) => {
+                    self.dram.activate(rank, bank, req.row.row, now);
+                    let kind = match req.kind {
+                        RequestKind::SideRead | RequestKind::SideWrite => {
+                            ActivationKind::TrackerSide
+                        }
+                        _ => ActivationKind::Demand,
+                    };
+                    self.notify_tracker(req.row, now, kind);
+                    return true;
                 }
-                Some(open) if open != req.row.row => {
-                    if self.dram.can_precharge(rank, bank, now) {
-                        self.dram.precharge(rank, bank, now);
-                        return true;
-                    }
+                Some(open) if open != req.row.row && self.dram.can_precharge(rank, bank, now) => {
+                    self.dram.precharge(rank, bank, now);
+                    return true;
                 }
-                _ => {} // row open, waiting on tRCD or the data bus
+                _ => {} // closed but timing-blocked, open row, or waiting on the bus
             }
         }
         false
@@ -613,8 +610,16 @@ mod tests {
     fn row_conflict_precharges_and_reactivates() {
         let mut c = controller();
         let geom = MemGeometry::tiny();
-        c.enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 5), 0), 0, 0);
-        c.enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 9), 0), 0, 0);
+        c.enqueue_read(
+            geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 5), 0),
+            0,
+            0,
+        );
+        c.enqueue_read(
+            geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 9), 0),
+            0,
+            0,
+        );
         let (done, _) = run_until_idle(&mut c, 0);
         assert_eq!(done.len(), 2);
         assert_eq!(c.stats().demand_acts, 2);
@@ -633,7 +638,11 @@ mod tests {
             ));
         }
         let id = c
-            .enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 5), 0), 0, 0)
+            .enqueue_read(
+                geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 5), 0),
+                0,
+                0,
+            )
             .unwrap();
         let mut first_done = None;
         let mut now = 0;
@@ -651,7 +660,10 @@ mod tests {
         let mut c = controller();
         let geom = MemGeometry::tiny();
         for i in 0..40u32 {
-            c.enqueue_write(geom.line_of_row(hydra_types::RowAddr::new(0, 0, (i % 4) as u8, i), 0), 0);
+            c.enqueue_write(
+                geom.line_of_row(hydra_types::RowAddr::new(0, 0, (i % 4) as u8, i), 0),
+                0,
+            );
         }
         run_until_idle(&mut c, 0);
         assert_eq!(c.stats().writes_done, 40);
@@ -664,11 +676,19 @@ mod tests {
         let cap = SystemConfig::tiny_test().read_queue_capacity;
         for i in 0..cap {
             assert!(c
-                .enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, i as u32), 0), 0, 0)
+                .enqueue_read(
+                    geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, i as u32), 0),
+                    0,
+                    0
+                )
                 .is_some());
         }
         assert!(c
-            .enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 999), 0), 0, 0)
+            .enqueue_read(
+                geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 999), 0),
+                0,
+                0
+            )
             .is_none());
     }
 
@@ -699,7 +719,7 @@ mod tests {
             // do not cascade in this test tracker.
             if kind == ActivationKind::Demand {
                 self.count += 1;
-                if self.count % self.n == 0 {
+                if self.count.is_multiple_of(self.n) {
                     return hydra_types::TrackerResponse::mitigate(row);
                 }
             }
@@ -721,7 +741,11 @@ mod tests {
         let geom = MemGeometry::tiny();
         // One demand read -> one demand ACT -> mitigation with radius 2
         // -> 4 victim-refresh ACTs.
-        c.enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 100), 0), 0, 0);
+        c.enqueue_read(
+            geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 100), 0),
+            0,
+            0,
+        );
         run_until_idle(&mut c, 0);
         assert_eq!(c.stats().demand_acts, 1);
         assert_eq!(c.stats().mitigation_acts, 4);
@@ -733,7 +757,11 @@ mod tests {
         let mut c = MemController::new(&config, 0, Box::new(EveryN { n: 1, count: 0 }));
         let geom = MemGeometry::tiny();
         // Row 0: victims -1 and -2 do not exist -> only +1, +2 refreshed.
-        c.enqueue_read(geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 0), 0), 0, 0);
+        c.enqueue_read(
+            geom.line_of_row(hydra_types::RowAddr::new(0, 0, 0, 0), 0),
+            0,
+            0,
+        );
         run_until_idle(&mut c, 0);
         assert_eq!(c.stats().mitigation_acts, 2);
     }

@@ -247,7 +247,10 @@ mod tests {
     fn compute_bound_core_retires_at_full_width() {
         let geom = MemGeometry::tiny();
         // Huge gaps: essentially pure compute.
-        let ops = vec![TraceOp::read(10_000, geom.line_of_row(RowAddr::new(0, 0, 0, 1), 0))];
+        let ops = vec![TraceOp::read(
+            10_000,
+            geom.line_of_row(RowAddr::new(0, 0, 0, 1), 0),
+        )];
         let (mut core, mut ctrl) = core_with(ops, 40_000);
         let cycles = run(&mut core, &mut ctrl, 100_000);
         // 8 instructions per memory cycle -> ~5000 cycles.
@@ -275,7 +278,10 @@ mod tests {
         let geom = MemGeometry::tiny();
         // One read then pure compute: the core may run at most rob_size
         // instructions past the miss before stalling.
-        let ops = vec![TraceOp::read(0, geom.line_of_row(RowAddr::new(0, 0, 0, 1), 0))];
+        let ops = vec![TraceOp::read(
+            0,
+            geom.line_of_row(RowAddr::new(0, 0, 0, 1), 0),
+        )];
         let (mut core, mut ctrl) = core_with(ops, 10_000);
         // Tick the core without ever ticking the controller: data never
         // arrives, so retirement must cap at read + min(gap runahead, rob).
@@ -284,13 +290,20 @@ mod tests {
         }
         // It can issue more reads (up to MSHR limit) but total runahead past
         // the first miss is bounded by the ROB.
-        assert!(core.retired() <= 1 + core.rob_size, "retired {}", core.retired());
+        assert!(
+            core.retired() <= 1 + core.rob_size,
+            "retired {}",
+            core.retired()
+        );
     }
 
     #[test]
     fn writes_do_not_block_retirement() {
         let geom = MemGeometry::tiny();
-        let ops = vec![TraceOp::write(1, geom.line_of_row(RowAddr::new(0, 0, 0, 1), 0))];
+        let ops = vec![TraceOp::write(
+            1,
+            geom.line_of_row(RowAddr::new(0, 0, 0, 1), 0),
+        )];
         let (mut core, mut ctrl) = core_with(ops, 2_000);
         let cycles = run(&mut core, &mut ctrl, 100_000);
         // Writes drain in the background; retirement proceeds at near full
@@ -301,7 +314,10 @@ mod tests {
     #[test]
     fn core_reports_done_exactly_at_target() {
         let geom = MemGeometry::tiny();
-        let ops = vec![TraceOp::read(7, geom.line_of_row(RowAddr::new(0, 0, 0, 1), 0))];
+        let ops = vec![TraceOp::read(
+            7,
+            geom.line_of_row(RowAddr::new(0, 0, 0, 1), 0),
+        )];
         let (mut core, mut ctrl) = core_with(ops, 100);
         run(&mut core, &mut ctrl, 1_000_000);
         assert!(core.is_done());

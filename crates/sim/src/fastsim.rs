@@ -65,7 +65,7 @@ impl ActivationSimReport {
 /// let hydra = Hydra::isca22_default(geom, 0)?;
 /// let mut sim = ActivationSim::new(geom, hydra);
 /// let row = RowAddr::new(0, 0, 0, 7);
-/// let report = sim.run(std::iter::repeat(row).take(5000));
+/// let report = sim.run(std::iter::repeat_n(row, 5000));
 /// assert!(report.mitigations > 0);
 /// # Ok::<(), hydra_types::ConfigError>(())
 /// ```
@@ -126,6 +126,12 @@ impl<T: ActivationTracker> ActivationSim<T> {
     /// The tracker under test.
     pub fn tracker(&self) -> &T {
         &self.tracker
+    }
+
+    /// Consumes the simulator, returning the tracker — e.g. to inspect a
+    /// sanitizer's violation log after a run.
+    pub fn into_tracker(self) -> T {
+        self.tracker
     }
 
     /// The report so far.
@@ -250,9 +256,13 @@ mod tests {
         let geom = MemGeometry::tiny();
         let mut sim = ActivationSim::new(geom, tiny_hydra());
         let row = RowAddr::new(0, 0, 0, 100);
-        let report = sim.run(std::iter::repeat(row).take(1600));
+        let report = sim.run(std::iter::repeat_n(row, 1600));
         // Every 16 ACTs -> 1 mitigation -> 4 victim refreshes.
-        assert!(report.mitigations >= 90, "mitigations {}", report.mitigations);
+        assert!(
+            report.mitigations >= 90,
+            "mitigations {}",
+            report.mitigations
+        );
         assert!(report.mitigation_acts >= 4 * 90);
         assert!(report.bandwidth_inflation() > 1.2);
     }
@@ -264,22 +274,30 @@ mod tests {
         let mut sim = ActivationSim::new(geom, NullTracker).with_timing(timing);
         let acts = 10 * timing.refresh_window / timing.trc;
         let report = sim.run((0..acts).map(|i| RowAddr::new(0, 0, 0, (i % 100) as u32)));
-        assert!((9..=11).contains(&report.window_resets), "{}", report.window_resets);
+        assert!(
+            (9..=11).contains(&report.window_resets),
+            "{}",
+            report.window_resets
+        );
     }
 
     #[test]
     fn ocpr_and_hydra_agree_on_mitigation_rate_for_hot_rows() {
         let geom = MemGeometry::tiny();
         let mut hydra_sim = ActivationSim::new(geom, tiny_hydra());
-        let mut ocpr_sim =
-            ActivationSim::new(geom, Ocpr::new(geom, 0, 16).unwrap());
+        let mut ocpr_sim = ActivationSim::new(geom, Ocpr::new(geom, 0, 16).unwrap());
         let rows: Vec<RowAddr> = (0..4000u32).map(|_| RowAddr::new(0, 0, 1, 7)).collect();
         let h = hydra_sim.run(rows.clone());
         let o = ocpr_sim.run(rows);
         // For a single sustained-hammer row, Hydra tracks exactly like the
         // oracle after the first window (±group warmup effects).
         let diff = (h.mitigations as f64 - o.mitigations as f64).abs();
-        assert!(diff / (o.mitigations as f64) < 0.1, "hydra {} ocpr {}", h.mitigations, o.mitigations);
+        assert!(
+            diff / (o.mitigations as f64) < 0.1,
+            "hydra {} ocpr {}",
+            h.mitigations,
+            o.mitigations
+        );
     }
 
     #[test]
@@ -292,7 +310,7 @@ mod tests {
         let b = RowAddr::new(0, 0, 0, 102);
         let mut mitigated_rows = std::collections::HashSet::new();
         for i in 0..2000u64 {
-            sim.activate(if i % 2 == 0 { a } else { b });
+            sim.activate(if i.is_multiple_of(2) { a } else { b });
             for m in sim.drain_mitigated() {
                 mitigated_rows.insert(m);
             }
@@ -308,10 +326,13 @@ mod tests {
         // Hydra-NoRCC: every per-row access is a DRAM read-modify-write.
         let geom = MemGeometry::tiny();
         let mut b = HydraConfig::builder(geom, 0);
-        b.thresholds(16, 12).gct_entries(64).rcc_entries(32).without_rcc();
+        b.thresholds(16, 12)
+            .gct_entries(64)
+            .rcc_entries(32)
+            .without_rcc();
         let hydra = Hydra::new(b.build().unwrap()).unwrap();
         let mut sim = ActivationSim::new(geom, hydra);
-        let report = sim.run(std::iter::repeat(RowAddr::new(0, 0, 0, 9)).take(200));
+        let report = sim.run(std::iter::repeat_n(RowAddr::new(0, 0, 0, 9), 200));
         assert!(report.side_reads > 100);
         assert!(report.side_writes > 100);
         assert!(report.bandwidth_inflation() > 1.5);

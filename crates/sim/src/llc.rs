@@ -107,12 +107,14 @@ impl SharedLlc {
                 writeback: None,
             };
         }
+        // The set is at capacity here (ways ≥ 1), so a minimum exists; the
+        // fallback index keeps this panic-free.
         let lru = set
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| w.stamp)
             .map(|(i, _)| i)
-            .expect("set non-empty");
+            .unwrap_or(0);
         let victim = set[lru];
         set[lru] = new_way;
         let writeback = victim

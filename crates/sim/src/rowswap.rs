@@ -173,7 +173,7 @@ mod tests {
         let mut ind = indirection();
         let rows: Vec<RowAddr> = (0..40u32).map(|r| RowAddr::new(0, 0, 1, r)).collect();
         for (i, &row) in rows.iter().cycle().take(400).enumerate() {
-            if i % 3 == 0 {
+            if i.is_multiple_of(3) {
                 ind.swap(row);
             }
         }

@@ -111,7 +111,7 @@ impl SystemSim {
     pub fn run_with_progress(&mut self, report_every: MemCycle) -> SimResult {
         let mut now: MemCycle = 0;
         while !self.cores.iter().all(|c| c.is_done()) {
-            if report_every > 0 && now % report_every == 0 && now > 0 {
+            if report_every > 0 && now.is_multiple_of(report_every) && now > 0 {
                 let retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
                 eprintln!("cycle {now}: retired {retired:?}");
                 for (i, c) in self.controllers.iter().enumerate() {
@@ -220,10 +220,8 @@ mod tests {
                 .map(|i| {
                     TraceOp::read(
                         2,
-                        MemGeometry::tiny().line_of_row(
-                            RowAddr::new(0, 0, (i % 4) as u8, (i * 37) % 1000),
-                            0,
-                        ),
+                        MemGeometry::tiny()
+                            .line_of_row(RowAddr::new(0, 0, (i % 4) as u8, (i * 37) % 1000), 0),
                     )
                 })
                 .collect();

@@ -5,7 +5,9 @@
 
 use hydra_sim::{MemController, SystemConfig};
 use hydra_types::tracker::NullTracker;
-use hydra_types::{ActivationKind, ActivationTracker, MemCycle, MemGeometry, RowAddr, TrackerResponse};
+use hydra_types::{
+    ActivationKind, ActivationTracker, MemCycle, MemGeometry, RowAddr, TrackerResponse,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
@@ -30,10 +32,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 
 /// Drives a controller with an arbitrary op sequence; returns
 /// (reads enqueued, read completions observed, cycles to drain).
-fn drive(
-    mut controller: MemController,
-    script: Vec<Op>,
-) -> (u64, u64, MemCycle) {
+fn drive(mut controller: MemController, script: Vec<Op>) -> (u64, u64, MemCycle) {
     let geom = MemGeometry::tiny();
     let mut now: MemCycle = 0;
     let mut enqueued = 0u64;

@@ -84,7 +84,15 @@ impl MemGeometry {
     /// The paper's baseline (Table 2): 32 GB DDR4, 2 channels × 1 rank ×
     /// 16 banks, 8 KB rows → 131,072 rows per bank, 4 M rows total.
     pub fn isca22_baseline() -> Self {
-        MemGeometry::new(2, 1, 16, 131_072, 8192).expect("baseline geometry is valid")
+        // Literal construction: every dimension is a power of two by
+        // inspection, so the `new` validation cannot fail.
+        MemGeometry {
+            channels: 2,
+            ranks_per_channel: 1,
+            banks_per_rank: 16,
+            rows_per_bank: 131_072,
+            row_bytes: 8192,
+        }
     }
 
     /// A DDR5-style 32 GB system (Table 5's comparison point): 2 channels ×
@@ -92,13 +100,25 @@ impl MemGeometry {
     /// DDR4 baseline — which is why Hydra's row-indexed structures cost the
     /// same on DDR5 while per-bank trackers double.
     pub fn ddr5_32gb() -> Self {
-        MemGeometry::new(2, 1, 32, 65_536, 8192).expect("ddr5 geometry is valid")
+        MemGeometry {
+            channels: 2,
+            ranks_per_channel: 1,
+            banks_per_rank: 32,
+            rows_per_bank: 65_536,
+            row_bytes: 8192,
+        }
     }
 
     /// A small geometry for unit tests and fast property tests:
     /// 1 channel × 1 rank × 4 banks × 1024 rows × 1 KB rows (4 MB).
     pub fn tiny() -> Self {
-        MemGeometry::new(1, 1, 4, 1024, 1024).expect("tiny geometry is valid")
+        MemGeometry {
+            channels: 1,
+            ranks_per_channel: 1,
+            banks_per_rank: 4,
+            rows_per_bank: 1024,
+            row_bytes: 1024,
+        }
     }
 
     /// Number of channels.
@@ -133,7 +153,9 @@ impl MemGeometry {
 
     /// Total banks across the whole system.
     pub fn total_banks(&self) -> u32 {
-        u32::from(self.channels) * u32::from(self.ranks_per_channel) * u32::from(self.banks_per_rank)
+        u32::from(self.channels)
+            * u32::from(self.ranks_per_channel)
+            * u32::from(self.banks_per_rank)
     }
 
     /// Total rows across the whole system.
@@ -263,11 +285,7 @@ impl MemGeometry {
     ///
     /// `refresh_overhead` is the fraction of the window spent refreshing
     /// (e.g. tRFC/tREFI ≈ 0.0448 for the baseline).
-    pub fn max_activations_per_bank(
-        window_ms: f64,
-        trc_ns: f64,
-        refresh_overhead: f64,
-    ) -> u64 {
+    pub fn max_activations_per_bank(window_ms: f64, trc_ns: f64, refresh_overhead: f64) -> u64 {
         let usable_ns = window_ms * 1e6 * (1.0 - refresh_overhead);
         (usable_ns / trc_ns) as u64
     }
@@ -347,7 +365,10 @@ mod tests {
         let a = g.row_of_line(LineAddr::new(0));
         let b = g.row_of_line(LineAddr::new(2));
         assert_eq!(a, b);
-        assert_ne!(g.column_of_line(LineAddr::new(0)), g.column_of_line(LineAddr::new(2)));
+        assert_ne!(
+            g.column_of_line(LineAddr::new(0)),
+            g.column_of_line(LineAddr::new(2))
+        );
     }
 
     #[test]

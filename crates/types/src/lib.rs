@@ -42,5 +42,5 @@ pub use error::ConfigError;
 pub use geometry::MemGeometry;
 pub use mitigation::{BlastRadius, MitigationPolicy, MitigationRequest};
 pub use tracker::{
-    ActivationKind, ActivationTracker, SideRequest, SideRequestKind, TrackerResponse,
+    ActivationKind, ActivationTracker, NullTracker, SideRequest, SideRequestKind, TrackerResponse,
 };

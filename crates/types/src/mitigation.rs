@@ -152,6 +152,8 @@ mod tests {
     fn displays_are_nonempty() {
         assert!(!BlastRadius::default().to_string().is_empty());
         assert!(!MitigationPolicy::RateLimit.to_string().is_empty());
-        assert!(!MitigationRequest::new(RowAddr::default()).to_string().is_empty());
+        assert!(!MitigationRequest::new(RowAddr::default())
+            .to_string()
+            .is_empty());
     }
 }

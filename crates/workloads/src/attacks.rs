@@ -106,10 +106,8 @@ impl AttackRows {
         match &self.pattern {
             AttackPattern::SingleSided { aggressor } => *aggressor,
             AttackPattern::DoubleSided { victim } => {
-                let delta = if step % 2 == 0 { -1 } else { 1 };
-                victim
-                    .neighbor(delta, rows_per_bank)
-                    .unwrap_or(*victim)
+                let delta = if step.is_multiple_of(2) { -1 } else { 1 };
+                victim.neighbor(delta, rows_per_bank).unwrap_or(*victim)
             }
             AttackPattern::ManySided { first, n } => {
                 let k = (step % u64::from((*n).max(1))) as u32;
@@ -203,7 +201,11 @@ mod tests {
     #[test]
     fn half_double_hits_far_rows_heavily() {
         let v = RowAddr::new(0, 0, 0, 100);
-        let mut rows = AttackPattern::HalfDouble { victim: v, ratio: 8 }.rows(geom());
+        let mut rows = AttackPattern::HalfDouble {
+            victim: v,
+            ratio: 8,
+        }
+        .rows(geom());
         let mut far = 0;
         let mut near = 0;
         for _ in 0..1800 {

@@ -27,36 +27,316 @@ macro_rules! w {
 /// All 36 workloads in the paper's figure order.
 pub const ALL: [WorkloadSpec; 36] = [
     // SPEC CPU2017 (22)
-    w!("bwaves", Suite::Spec2017, 39.6, 77_900, 0, 38.6, 8.0, 0.25, 0.3),
-    w!("parest", Suite::Spec2017, 27.6, 13_800, 5_882, 237.0, 2.0, 0.30, 0.8),
-    w!("fotonik3d", Suite::Spec2017, 25.9, 212_000, 0, 17.5, 4.0, 0.30, 0.2),
-    w!("lbm", Suite::Spec2017, 25.6, 41_800, 0, 82.1, 8.0, 0.45, 0.3),
-    w!("mcf", Suite::Spec2017, 20.8, 112_000, 0, 28.8, 1.0, 0.25, 0.4),
-    w!("omnetpp", Suite::Spec2017, 9.75, 312_000, 195, 10.7, 1.0, 0.30, 0.4),
-    w!("roms", Suite::Spec2017, 9.15, 115_000, 1_169, 22.9, 4.0, 0.30, 0.6),
-    w!("xz", Suite::Spec2017, 5.87, 102_000, 1_755, 26.4, 2.0, 0.35, 0.7),
-    w!("cam4", Suite::Spec2017, 3.23, 45_500, 5, 54.1, 4.0, 0.30, 0.4),
-    w!("cactuBSSN", Suite::Spec2017, 3.20, 24_600, 4_609, 107.0, 2.0, 0.35, 0.8),
-    w!("xalancbmk", Suite::Spec2017, 1.61, 60_800, 0, 49.8, 1.0, 0.25, 0.5),
-    w!("blender", Suite::Spec2017, 1.52, 52_400, 2_288, 58.7, 2.0, 0.30, 0.7),
-    w!("gcc", Suite::Spec2017, 0.65, 144_000, 159, 18.0, 2.0, 0.30, 0.4),
-    w!("nab", Suite::Spec2017, 0.61, 61_900, 0, 31.9, 4.0, 0.30, 0.3),
-    w!("deepsjeng", Suite::Spec2017, 0.29, 802_000, 0, 1.78, 1.0, 0.30, 0.0),
-    w!("x264", Suite::Spec2017, 0.28, 25_000, 0, 34.0, 4.0, 0.35, 0.4),
-    w!("wrf", Suite::Spec2017, 0.27, 19_300, 18, 20.9, 4.0, 0.30, 0.4),
-    w!("namd", Suite::Spec2017, 0.26, 24_700, 0, 34.9, 4.0, 0.30, 0.3),
-    w!("imagick", Suite::Spec2017, 0.16, 10_700, 0, 19.1, 4.0, 0.30, 0.3),
-    w!("perlbench", Suite::Spec2017, 0.09, 25_600, 0, 5.88, 2.0, 0.30, 0.2),
+    w!(
+        "bwaves",
+        Suite::Spec2017,
+        39.6,
+        77_900,
+        0,
+        38.6,
+        8.0,
+        0.25,
+        0.3
+    ),
+    w!(
+        "parest",
+        Suite::Spec2017,
+        27.6,
+        13_800,
+        5_882,
+        237.0,
+        2.0,
+        0.30,
+        0.8
+    ),
+    w!(
+        "fotonik3d",
+        Suite::Spec2017,
+        25.9,
+        212_000,
+        0,
+        17.5,
+        4.0,
+        0.30,
+        0.2
+    ),
+    w!(
+        "lbm",
+        Suite::Spec2017,
+        25.6,
+        41_800,
+        0,
+        82.1,
+        8.0,
+        0.45,
+        0.3
+    ),
+    w!(
+        "mcf",
+        Suite::Spec2017,
+        20.8,
+        112_000,
+        0,
+        28.8,
+        1.0,
+        0.25,
+        0.4
+    ),
+    w!(
+        "omnetpp",
+        Suite::Spec2017,
+        9.75,
+        312_000,
+        195,
+        10.7,
+        1.0,
+        0.30,
+        0.4
+    ),
+    w!(
+        "roms",
+        Suite::Spec2017,
+        9.15,
+        115_000,
+        1_169,
+        22.9,
+        4.0,
+        0.30,
+        0.6
+    ),
+    w!(
+        "xz",
+        Suite::Spec2017,
+        5.87,
+        102_000,
+        1_755,
+        26.4,
+        2.0,
+        0.35,
+        0.7
+    ),
+    w!(
+        "cam4",
+        Suite::Spec2017,
+        3.23,
+        45_500,
+        5,
+        54.1,
+        4.0,
+        0.30,
+        0.4
+    ),
+    w!(
+        "cactuBSSN",
+        Suite::Spec2017,
+        3.20,
+        24_600,
+        4_609,
+        107.0,
+        2.0,
+        0.35,
+        0.8
+    ),
+    w!(
+        "xalancbmk",
+        Suite::Spec2017,
+        1.61,
+        60_800,
+        0,
+        49.8,
+        1.0,
+        0.25,
+        0.5
+    ),
+    w!(
+        "blender",
+        Suite::Spec2017,
+        1.52,
+        52_400,
+        2_288,
+        58.7,
+        2.0,
+        0.30,
+        0.7
+    ),
+    w!(
+        "gcc",
+        Suite::Spec2017,
+        0.65,
+        144_000,
+        159,
+        18.0,
+        2.0,
+        0.30,
+        0.4
+    ),
+    w!(
+        "nab",
+        Suite::Spec2017,
+        0.61,
+        61_900,
+        0,
+        31.9,
+        4.0,
+        0.30,
+        0.3
+    ),
+    w!(
+        "deepsjeng",
+        Suite::Spec2017,
+        0.29,
+        802_000,
+        0,
+        1.78,
+        1.0,
+        0.30,
+        0.0
+    ),
+    w!(
+        "x264",
+        Suite::Spec2017,
+        0.28,
+        25_000,
+        0,
+        34.0,
+        4.0,
+        0.35,
+        0.4
+    ),
+    w!(
+        "wrf",
+        Suite::Spec2017,
+        0.27,
+        19_300,
+        18,
+        20.9,
+        4.0,
+        0.30,
+        0.4
+    ),
+    w!(
+        "namd",
+        Suite::Spec2017,
+        0.26,
+        24_700,
+        0,
+        34.9,
+        4.0,
+        0.30,
+        0.3
+    ),
+    w!(
+        "imagick",
+        Suite::Spec2017,
+        0.16,
+        10_700,
+        0,
+        19.1,
+        4.0,
+        0.30,
+        0.3
+    ),
+    w!(
+        "perlbench",
+        Suite::Spec2017,
+        0.09,
+        25_600,
+        0,
+        5.88,
+        2.0,
+        0.30,
+        0.2
+    ),
     w!("leela", Suite::Spec2017, 0.03, 720, 0, 2.68, 1.0, 0.30, 0.2),
-    w!("povray", Suite::Spec2017, 0.03, 500, 0, 2.28, 1.0, 0.30, 0.2),
+    w!(
+        "povray",
+        Suite::Spec2017,
+        0.03,
+        500,
+        0,
+        2.28,
+        1.0,
+        0.30,
+        0.2
+    ),
     // PARSEC (7)
-    w!("face", Suite::Parsec, 13.2, 49_300, 171, 42.5, 4.0, 0.30, 0.6),
-    w!("ferret", Suite::Parsec, 4.93, 48_600, 1_206, 47.6, 2.0, 0.30, 0.7),
-    w!("stream", Suite::Parsec, 4.51, 43_300, 997, 36.8, 8.0, 0.40, 0.6),
-    w!("swapt", Suite::Parsec, 4.14, 43_200, 1_023, 38.4, 4.0, 0.30, 0.6),
-    w!("black", Suite::Parsec, 4.12, 48_800, 937, 36.2, 4.0, 0.30, 0.6),
-    w!("freq", Suite::Parsec, 3.65, 56_500, 1_213, 34.9, 4.0, 0.30, 0.6),
-    w!("fluid", Suite::Parsec, 2.41, 90_800, 858, 26.0, 4.0, 0.30, 0.6),
+    w!(
+        "face",
+        Suite::Parsec,
+        13.2,
+        49_300,
+        171,
+        42.5,
+        4.0,
+        0.30,
+        0.6
+    ),
+    w!(
+        "ferret",
+        Suite::Parsec,
+        4.93,
+        48_600,
+        1_206,
+        47.6,
+        2.0,
+        0.30,
+        0.7
+    ),
+    w!(
+        "stream",
+        Suite::Parsec,
+        4.51,
+        43_300,
+        997,
+        36.8,
+        8.0,
+        0.40,
+        0.6
+    ),
+    w!(
+        "swapt",
+        Suite::Parsec,
+        4.14,
+        43_200,
+        1_023,
+        38.4,
+        4.0,
+        0.30,
+        0.6
+    ),
+    w!(
+        "black",
+        Suite::Parsec,
+        4.12,
+        48_800,
+        937,
+        36.2,
+        4.0,
+        0.30,
+        0.6
+    ),
+    w!(
+        "freq",
+        Suite::Parsec,
+        3.65,
+        56_500,
+        1_213,
+        34.9,
+        4.0,
+        0.30,
+        0.6
+    ),
+    w!(
+        "fluid",
+        Suite::Parsec,
+        2.41,
+        90_800,
+        858,
+        26.0,
+        4.0,
+        0.30,
+        0.6
+    ),
     // GAP (6)
     w!("bc_t", Suite::Gap, 84.6, 231_000, 9, 13.9, 1.0, 0.20, 0.4),
     w!("bc_w", Suite::Gap, 58.3, 129_000, 0, 18.2, 1.0, 0.20, 0.4),

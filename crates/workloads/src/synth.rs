@@ -57,16 +57,9 @@ impl SyntheticTrace {
     /// # Panics
     ///
     /// Panics if `scale == 0`.
-    pub fn from_spec(
-        spec: &WorkloadSpec,
-        geometry: MemGeometry,
-        scale: u64,
-        seed: u64,
-    ) -> Self {
+    pub fn from_spec(spec: &WorkloadSpec, geometry: MemGeometry, scale: u64, seed: u64) -> Self {
         assert!(scale > 0, "scale must be nonzero");
-        let footprint = (spec.unique_rows / scale)
-            .max(8)
-            .min(geometry.total_rows());
+        let footprint = (spec.unique_rows / scale).max(8).min(geometry.total_rows());
         let hot_rows = if spec.act250_rows == 0 {
             0
         } else {
@@ -151,7 +144,9 @@ impl TraceSource for SyntheticTrace {
             self.begin_burst();
         }
         let lines = self.geometry.lines_per_row() as u32;
-        let addr = self.geometry.line_of_row(self.current_row, self.current_col);
+        let addr = self
+            .geometry
+            .line_of_row(self.current_row, self.current_col);
         self.current_col = (self.current_col + 1) % lines;
         self.remaining -= 1;
         let gap = self.sample_geometric(self.gap_q);
@@ -239,7 +234,7 @@ mod tests {
     fn burst_visits_consecutive_lines_of_one_row() {
         let geom = MemGeometry::isca22_baseline();
         let mut t = build("bwaves", 5); // burst 8
-        // Collect pairs; many consecutive ops should share a row.
+                                        // Collect pairs; many consecutive ops should share a row.
         let mut same_row = 0;
         let mut prev = geom.row_of_line(t.next_op().addr);
         let n = 10_000;

@@ -32,10 +32,11 @@ pub const HEADER: &str = "# hydra trace v1";
 /// use hydra_types::LineAddr;
 ///
 /// let mut buf = Vec::new();
-/// let mut w = TraceWriter::new(&mut buf)?;
-/// w.write_op(TraceOp::read(3, LineAddr::new(16)))?;
-/// w.write_op(TraceOp::write(0, LineAddr::new(17)))?;
-/// drop(w);
+/// {
+///     let mut w = TraceWriter::new(&mut buf)?;
+///     w.write_op(TraceOp::read(3, LineAddr::new(16)))?;
+///     w.write_op(TraceOp::write(0, LineAddr::new(17)))?;
+/// }
 ///
 /// let mut t = TraceFile::parse("replayed", &buf[..])?;
 /// assert_eq!(t.next_op(), TraceOp::read(3, LineAddr::new(16)));
@@ -192,10 +193,11 @@ mod tests {
         let spec = registry::by_name("mcf").unwrap();
         let mut gen_a = spec.build(geom, 128, 5);
         let mut buf = Vec::new();
-        let mut w = TraceWriter::new(&mut buf).unwrap();
-        w.record(&mut gen_a, 500).unwrap();
-        assert_eq!(w.ops_written(), 500);
-        drop(w);
+        {
+            let mut w = TraceWriter::new(&mut buf).unwrap();
+            w.record(&mut gen_a, 500).unwrap();
+            assert_eq!(w.ops_written(), 500);
+        }
 
         let mut replay = TraceFile::parse("mcf-replay", &buf[..]).unwrap();
         assert_eq!(replay.len(), 500);
@@ -210,7 +212,10 @@ mod tests {
         let text = "# hydra trace v1\n\n# comment\n5 0x100 R\n";
         let mut t = TraceFile::parse("t", text.as_bytes()).unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.next_op(), TraceOp::read(5, LineAddr::from_byte_addr(0x100)));
+        assert_eq!(
+            t.next_op(),
+            TraceOp::read(5, LineAddr::from_byte_addr(0x100))
+        );
     }
 
     #[test]

@@ -44,14 +44,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let patterns = [
         AttackPattern::SingleSided { aggressor: victim },
         AttackPattern::DoubleSided { victim },
-        AttackPattern::ManySided { first: victim, n: 8 },
+        AttackPattern::ManySided {
+            first: victim,
+            n: 8,
+        },
         AttackPattern::HalfDouble { victim, ratio: 16 },
-        AttackPattern::Thrash { rows: 100_000, seed: 3 },
+        AttackPattern::Thrash {
+            rows: 100_000,
+            seed: 3,
+        },
     ];
 
     println!("Row-Hammer threshold T_RH = {T_RH}; an attack succeeds if any row");
     println!("collects {T_RH} unmitigated activations in a tracking window.\n");
-    println!("{:<14} {:>22} {:>24}", "attack", "unprotected (max ACTs)", "hydra (max unmitigated)");
+    println!(
+        "{:<14} {:>22} {:>24}",
+        "attack", "unprotected (max ACTs)", "hydra (max unmitigated)"
+    );
     println!("{}", "-".repeat(64));
 
     for pattern in &patterns {
@@ -60,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Hydra at the paper's design point.
         let hydra = Hydra::isca22_default(geom, 0)?;
         let (protected, mitigations) = audit(pattern, geom, hydra);
-        let flips = if unprotected >= T_RH { "BIT FLIPS" } else { "safe" };
+        let flips = if unprotected >= T_RH {
+            "BIT FLIPS"
+        } else {
+            "safe"
+        };
         println!(
             "{:<14} {:>12} ({:<9}) {:>12} (safe, {} mitigations)",
             pattern.name(),
@@ -69,10 +82,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             protected,
             mitigations
         );
-        assert!(protected < T_RH / 2 + 1, "Hydra must bound unmitigated ACTs by T_H");
+        assert!(
+            protected < T_RH / 2 + 1,
+            "Hydra must bound unmitigated ACTs by T_H"
+        );
     }
 
     println!("\nEvery pattern that breaks the unprotected system is held below");
-    println!("T_H = T_RH/2 = {} unmitigated activations by Hydra.", T_RH / 2);
+    println!(
+        "T_H = T_RH/2 = {} unmitigated activations by Hydra.",
+        T_RH / 2
+    );
     Ok(())
 }

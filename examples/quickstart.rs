@@ -10,8 +10,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's 32 GB DDR4 baseline: 2 channels x 1 rank x 16 banks,
     // 8 KB rows (Table 2).
     let geom = MemGeometry::isca22_baseline();
-    println!("memory geometry : {} GB, {} rows of {} KB",
-        geom.capacity_bytes() >> 30, geom.total_rows(), geom.row_bytes() / 1024);
+    println!(
+        "memory geometry : {} GB, {} rows of {} KB",
+        geom.capacity_bytes() >> 30,
+        geom.total_rows(),
+        geom.row_bytes() / 1024
+    );
 
     // One Hydra instance per channel; T_H = 250, T_G = 200 for T_RH = 500.
     let mut hydra = Hydra::isca22_default(geom, 0)?;

@@ -26,8 +26,11 @@ fn tracker(kind: &str, geom: MemGeometry, channel: u8) -> Box<dyn ActivationTrac
             ))
         }
         "cra" => Box::new(
-            Cra::new(CraConfig::for_threshold(geom, channel, 500, (64 * 1024 / S as usize).max(1024)).expect("cra config"))
-                .expect("cra"),
+            Cra::new(
+                CraConfig::for_threshold(geom, channel, 500, (64 * 1024 / S as usize).max(1024))
+                    .expect("cra config"),
+            )
+            .expect("cra"),
         ),
         "hydra" => {
             let channels = usize::from(geom.channels());
@@ -59,10 +62,9 @@ fn main() {
     for name in workloads {
         let spec = registry::by_name(name).expect("registered workload");
         let run = |kind: &'static str| {
-            let mut sim = SystemSim::new(config.clone(), |core| {
-                spec.build(geom, S, 42 ^ core as u64)
-            })
-            .with_trackers(|ch| tracker(kind, geom, ch));
+            let mut sim =
+                SystemSim::new(config.clone(), |core| spec.build(geom, S, 42 ^ core as u64))
+                    .with_trackers(|ch| tracker(kind, geom, ch));
             sim.run()
         };
         let baseline = run("baseline");

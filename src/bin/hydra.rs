@@ -32,7 +32,9 @@ fn main() -> ExitCode {
             eprintln!("  list                         list the 36 registered workloads");
             eprintln!("  characterize <workload> [S]  Table-3 stats from the generator");
             eprintln!("  audit <pattern> [acts]       Theorem-1 audit (single_sided,");
-            eprintln!("                               double_sided, many_sided, half_double, thrash)");
+            eprintln!(
+                "                               double_sided, many_sided, half_double, thrash)"
+            );
             eprintln!("  record <workload> <n> <file> [S]  record a trace file");
             eprintln!("  hammer <row> [acts]          hammer one row through Hydra");
             return ExitCode::from(2);
@@ -51,18 +53,30 @@ fn cmd_storage() -> Result<(), String> {
     let geom = MemGeometry::isca22_baseline();
     let config = HydraConfig::isca22_default(geom, 0).map_err(|e| e.to_string())?;
     let storage = HydraStorage::for_system(&config, u32::from(geom.channels()));
-    println!("Hydra (32 GB system): GCT {} KB + RCC {} KB + RIT-ACT {} B",
-        storage.gct_bytes / 1024, storage.rcc_bytes / 1024, storage.rit_bytes);
-    println!("  total SRAM {:.1} KB; in-DRAM RCT {} MB\n",
+    println!(
+        "Hydra (32 GB system): GCT {} KB + RCC {} KB + RIT-ACT {} B",
+        storage.gct_bytes / 1024,
+        storage.rcc_bytes / 1024,
+        storage.rit_bytes
+    );
+    println!(
+        "  total SRAM {:.1} KB; in-DRAM RCT {} MB\n",
         storage.total_sram_bytes() as f64 / 1024.0,
-        storage.rct_dram_bytes >> 20);
+        storage.rct_dram_bytes >> 20
+    );
     println!("Prior schemes, per 16 GB rank:");
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "scheme", "T=250", "T=500", "T=1000", "T=32000");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "T=250", "T=500", "T=1000", "T=32000"
+    );
     for scheme in Scheme::ALL {
         let row: Vec<String> = [250u32, 500, 1000, 32_000]
             .iter()
             .map(|&t| {
-                format!("{:.0} KB", scheme.bytes_per_rank(t, DDR4_BANKS_PER_RANK) as f64 / 1024.0)
+                format!(
+                    "{:.0} KB",
+                    scheme.bytes_per_rank(t, DDR4_BANKS_PER_RANK) as f64 / 1024.0
+                )
             })
             .collect();
         println!(
@@ -78,12 +92,19 @@ fn cmd_storage() -> Result<(), String> {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<12} {:<10} {:>8} {:>12} {:>10} {:>10}",
-        "workload", "suite", "MPKI", "unique rows", "ACT-250+", "ACTs/row");
+    println!(
+        "{:<12} {:<10} {:>8} {:>12} {:>10} {:>10}",
+        "workload", "suite", "MPKI", "unique rows", "ACT-250+", "ACTs/row"
+    );
     for w in &registry::ALL {
         println!(
             "{:<12} {:<10} {:>8.2} {:>12} {:>10} {:>10.1}",
-            w.name, w.suite.label(), w.mpki, w.unique_rows, w.act250_rows, w.acts_per_row
+            w.name,
+            w.suite.label(),
+            w.mpki,
+            w.unique_rows,
+            w.act250_rows,
+            w.acts_per_row
         );
     }
     Ok(())
@@ -91,7 +112,9 @@ fn cmd_list() -> Result<(), String> {
 
 fn cmd_characterize(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("characterize needs a workload name")?;
-    let scale: u64 = args.get(1).map_or(Ok(256), |s| s.parse().map_err(|_| "bad scale"))?;
+    let scale: u64 = args
+        .get(1)
+        .map_or(Ok(256), |s| s.parse().map_err(|_| "bad scale"))?;
     let spec = registry::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
     let geom = MemGeometry::isca22_baseline();
     let mut trace = spec.build(geom, scale, 42);
@@ -114,8 +137,14 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
     println!("{name} at scale {scale} ({accesses} accesses):");
     println!("  unique rows     : {unique}");
     println!("  rows > 250 ACTs : {hot}");
-    println!("  ACTs per row    : {:.1}", total as f64 / unique.max(1) as f64);
-    println!("  effective MPKI  : {:.2}", accesses as f64 * 1000.0 / (gap_sum + accesses) as f64);
+    println!(
+        "  ACTs per row    : {:.1}",
+        total as f64 / unique.max(1) as f64
+    );
+    println!(
+        "  effective MPKI  : {:.2}",
+        accesses as f64 * 1000.0 / (gap_sum + accesses) as f64
+    );
     Ok(())
 }
 
@@ -124,16 +153,24 @@ fn parse_pattern(name: &str) -> Result<AttackPattern, String> {
     Ok(match name {
         "single_sided" => AttackPattern::SingleSided { aggressor: victim },
         "double_sided" => AttackPattern::DoubleSided { victim },
-        "many_sided" => AttackPattern::ManySided { first: victim, n: 16 },
+        "many_sided" => AttackPattern::ManySided {
+            first: victim,
+            n: 16,
+        },
         "half_double" => AttackPattern::HalfDouble { victim, ratio: 8 },
-        "thrash" => AttackPattern::Thrash { rows: 100_000, seed: 7 },
+        "thrash" => AttackPattern::Thrash {
+            rows: 100_000,
+            seed: 7,
+        },
         other => return Err(format!("unknown pattern {other}")),
     })
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {
     let pattern = parse_pattern(args.first().ok_or("audit needs a pattern")?)?;
-    let acts: u64 = args.get(1).map_or(Ok(200_000), |s| s.parse().map_err(|_| "bad act count"))?;
+    let acts: u64 = args
+        .get(1)
+        .map_or(Ok(200_000), |s| s.parse().map_err(|_| "bad act count"))?;
     let geom = MemGeometry::isca22_baseline();
     let hydra = Hydra::isca22_default(geom, 0).map_err(|e| e.to_string())?;
     let t_h = hydra.config().t_h;
@@ -156,7 +193,11 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     let report = sim.report();
     println!("pattern          : {}", pattern.name());
     println!("demand acts      : {}", report.demand_acts);
-    println!("mitigations      : {} (over {} distinct rows)", report.mitigations, mitigated.len());
+    println!(
+        "mitigations      : {} (over {} distinct rows)",
+        report.mitigations,
+        mitigated.len()
+    );
     println!("mitigation acts  : {}", report.mitigation_acts);
     println!("bandwidth        : {:.2}x", report.bandwidth_inflation());
     println!("worst unmitigated: {worst} (bound T_H = {t_h})");
@@ -176,7 +217,9 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad op count")?;
     let path = args.get(2).ok_or("record needs an output file")?;
-    let scale: u64 = args.get(3).map_or(Ok(256), |s| s.parse().map_err(|_| "bad scale"))?;
+    let scale: u64 = args
+        .get(3)
+        .map_or(Ok(256), |s| s.parse().map_err(|_| "bad scale"))?;
     let spec = registry::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
     let mut trace = spec.build(MemGeometry::isca22_baseline(), scale, 42);
     let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
@@ -192,7 +235,9 @@ fn cmd_hammer(args: &[String]) -> Result<(), String> {
         .ok_or("hammer needs a row index")?
         .parse()
         .map_err(|_| "bad row index")?;
-    let acts: u32 = args.get(1).map_or(Ok(1000), |s| s.parse().map_err(|_| "bad act count"))?;
+    let acts: u32 = args
+        .get(1)
+        .map_or(Ok(1000), |s| s.parse().map_err(|_| "bad act count"))?;
     let geom = MemGeometry::isca22_baseline();
     let mut hydra = Hydra::isca22_default(geom, 0).map_err(|e| e.to_string())?;
     let row = RowAddr::new(0, 0, 0, row_index % geom.rows_per_bank());

@@ -4,6 +4,7 @@
 //! tests can `use hydra_repro::...`. See the individual crates for details:
 //!
 //! * [`types`] — shared addressing/geometry/tracker vocabulary
+//! * [`analysis`] — static config auditor, shadow-oracle sanitizer, repo lint
 //! * [`core`] — the Hydra hybrid tracker (the paper's contribution)
 //! * [`baselines`] — Graphene, CRA, PARA, OCPR, D-CBF, storage models
 //! * [`dram`] — DDR4 device timing, refresh and power models
@@ -12,6 +13,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use hydra_analysis as analysis;
 pub use hydra_baselines as baselines;
 pub use hydra_core as core;
 pub use hydra_dram as dram;

@@ -16,9 +16,10 @@ fn recorded_trace_replays_identically_through_the_full_system() {
 
     // Record 3000 ops, then run live-generator vs replayed-trace systems.
     let mut buf = Vec::new();
-    let mut writer = TraceWriter::new(&mut buf).unwrap();
-    writer.record(&mut spec.build(geom, 512, 9), 3000).unwrap();
-    drop(writer);
+    {
+        let mut writer = TraceWriter::new(&mut buf).unwrap();
+        writer.record(&mut spec.build(geom, 512, 9), 3000).unwrap();
+    }
 
     let mut config = SystemConfig::scaled(512);
     config.cores = 2;
@@ -32,7 +33,10 @@ fn recorded_trace_replays_identically_through_the_full_system() {
         TraceFile::parse("stream-replay", &buf[..]).unwrap()
     })
     .run();
-    assert_eq!(live.cycles, replayed.cycles, "replay must be cycle-identical");
+    assert_eq!(
+        live.cycles, replayed.cycles,
+        "replay must be cycle-identical"
+    );
     assert_eq!(live.demand_acts(), replayed.demand_acts());
 }
 
@@ -53,13 +57,12 @@ fn mix_with_attacker_is_mitigated_without_hurting_victims_much() {
     let mut config = SystemConfig::scaled(512);
     config.cores = 4;
     config.instructions_per_core = 20_000;
-    let mut sim = SystemSim::new(config, |core| mix.build(geom, core, 512, 5)).with_trackers(
-        |ch| {
+    let mut sim =
+        SystemSim::new(config, |core| mix.build(geom, core, 512, 5)).with_trackers(|ch| {
             let mut b = HydraConfig::builder(geom, ch);
             b.thresholds(32, 25).gct_entries(256).rcc_entries(64);
             Box::new(Hydra::new(b.build().unwrap()).unwrap())
-        },
-    );
+        });
     let result = sim.run();
     assert!(
         result.mitigation_acts() > 0,
@@ -75,9 +78,10 @@ fn cache_hierarchy_filters_a_recorded_loop_to_nothing() {
     let geom = MemGeometry::isca22_baseline();
     let spec = registry::by_name("leela").unwrap();
     let mut buf = Vec::new();
-    let mut writer = TraceWriter::new(&mut buf).unwrap();
-    writer.record(&mut spec.build(geom, 1024, 3), 500).unwrap();
-    drop(writer);
+    {
+        let mut writer = TraceWriter::new(&mut buf).unwrap();
+        writer.record(&mut spec.build(geom, 1024, 3), 500).unwrap();
+    }
     let mut trace = TraceFile::parse("leela-loop", &buf[..]).unwrap();
 
     let mut llc = SharedLlc::isca22_baseline();
@@ -87,7 +91,11 @@ fn cache_hierarchy_filters_a_recorded_loop_to_nothing() {
     for _ in 0..5_000 {
         let op = trace.next_op();
         total += 1;
-        if caches.access(op.addr, op.is_write, &mut llc).hit_level.is_none() {
+        if caches
+            .access(op.addr, op.is_write, &mut llc)
+            .hit_level
+            .is_none()
+        {
             dram_accesses += 1;
         }
     }
@@ -111,15 +119,17 @@ fn row_swap_policy_survives_a_full_mixed_run() {
     config.cores = 2;
     config.instructions_per_core = 20_000;
     config.mitigation = MitigationPolicy::RowSwap { seed: 77 };
-    let mut sim = SystemSim::new(config, |core| mix.build(geom, core, 512, 5)).with_trackers(
-        |ch| {
+    let mut sim =
+        SystemSim::new(config, |core| mix.build(geom, core, 512, 5)).with_trackers(|ch| {
             let mut b = HydraConfig::builder(geom, ch);
             b.thresholds(32, 25).gct_entries(256).rcc_entries(64);
             Box::new(Hydra::new(b.build().unwrap()).unwrap())
-        },
-    );
+        });
     let result = sim.run();
     let swaps: u64 = result.controllers.iter().map(|c| c.row_swaps).sum();
     assert!(swaps > 0, "the hammered rows must get swapped");
-    assert!(result.side_accesses() >= swaps * 4, "row copies must be charged");
+    assert!(
+        result.side_accesses() >= swaps * 4,
+        "row copies must be charged"
+    );
 }

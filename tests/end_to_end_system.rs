@@ -61,9 +61,7 @@ fn hydra_tracked_workload_completes_with_modest_overhead() {
 fn all_four_trackers_run_the_same_workload() {
     let geom = MemGeometry::isca22_baseline();
     let spec = registry::by_name("gups").unwrap();
-    let mk = || {
-        SystemSim::new(config(15_000), |core| spec.build(geom, SCALE, core as u64))
-    };
+    let mk = || SystemSim::new(config(15_000), |core| spec.build(geom, SCALE, core as u64));
     let baseline = mk().run();
     let hydra = mk()
         .with_trackers(|ch| Box::new(scaled_hydra(geom, ch)))
@@ -77,9 +75,7 @@ fn all_four_trackers_run_the_same_workload() {
         .run();
     let cra = mk()
         .with_trackers(|ch| {
-            Box::new(
-                Cra::new(CraConfig::for_threshold(geom, ch, 500, 2048).unwrap()).unwrap(),
-            )
+            Box::new(Cra::new(CraConfig::for_threshold(geom, ch, 500, 2048).unwrap()).unwrap())
         })
         .run();
     for (name, r) in [
@@ -92,7 +88,12 @@ fn all_four_trackers_run_the_same_workload() {
         assert!(r.cycles > 0, "{name}");
     }
     // CRA with a thrashed 2 KB cache must be the slowest tracked design.
-    assert!(cra.cycles >= hydra.cycles, "cra {} vs hydra {}", cra.cycles, hydra.cycles);
+    assert!(
+        cra.cycles >= hydra.cycles,
+        "cra {} vs hydra {}",
+        cra.cycles,
+        hydra.cycles
+    );
     assert!(cra.cycles >= graphene.cycles);
 }
 
@@ -134,13 +135,16 @@ fn mitigation_refreshes_cost_activations_but_not_correctness() {
         first: RowAddr::new(0, 0, 1, 2000),
         n: 4,
     };
-    let mut sim = SystemSim::new(config(15_000), |_| attack.trace(geom))
-        .with_trackers(|ch| {
-            let mut b = HydraConfig::builder(geom, ch);
-            b.thresholds(32, 24).gct_entries(64).rcc_entries(16);
-            Box::new(Hydra::new(b.build().unwrap()).unwrap())
-        });
+    let mut sim = SystemSim::new(config(15_000), |_| attack.trace(geom)).with_trackers(|ch| {
+        let mut b = HydraConfig::builder(geom, ch);
+        b.thresholds(32, 24).gct_entries(64).rcc_entries(16);
+        Box::new(Hydra::new(b.build().unwrap()).unwrap())
+    });
     let result = sim.run();
-    assert!(result.mitigation_acts() > 50, "acts {}", result.mitigation_acts());
+    assert!(
+        result.mitigation_acts() > 50,
+        "acts {}",
+        result.mitigation_acts()
+    );
     assert!(result.instructions >= 4 * 15_000);
 }

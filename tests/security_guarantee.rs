@@ -5,15 +5,17 @@
 //! activation-level simulator (hydra-sim): Hydra must never mitigate *later*
 //! than the oracle allows, for any pattern and any Hydra variant.
 
+use hydra_repro::analysis::oracle::ShadowOracle;
 use hydra_repro::baselines::Ocpr;
 use hydra_repro::core::{Hydra, HydraConfig};
 use hydra_repro::sim::ActivationSim;
 use hydra_repro::types::{ActivationTracker, MemGeometry, RowAddr};
 use hydra_repro::workloads::AttackPattern;
-use std::collections::HashMap;
 
 const T_H: u32 = 64;
 const T_G: u32 = 51;
+/// The threshold the shadow oracle audits against (window-split bound).
+const T_RH: u32 = 2 * T_H;
 
 fn hydra(geom: MemGeometry) -> Hydra {
     let mut b = HydraConfig::builder(geom, 0);
@@ -22,27 +24,26 @@ fn hydra(geom: MemGeometry) -> Hydra {
 }
 
 /// Replays `acts` activations of `pattern` through a tracker inside the
-/// activation simulator, auditing unmitigated counts with a local oracle.
-/// Returns the worst unmitigated count observed.
-fn audit<T: ActivationTracker>(pattern: &AttackPattern, acts: u64, tracker: T) -> u32 {
+/// activation simulator, with the [`ShadowOracle`] sanitizer independently
+/// auditing ground truth (victim-refresh feedback included). Panics on any
+/// contract violation; returns the worst unmitigated count observed.
+fn audit<T: ActivationTracker>(pattern: &AttackPattern, acts: u64, tracker: T) -> u64 {
     let geom = MemGeometry::tiny();
-    let mut sim = ActivationSim::new(geom, tracker);
+    let mut sim = ActivationSim::new(geom, ShadowOracle::new(tracker, T_RH));
     let mut rows = pattern.rows(geom);
-    let mut counts: HashMap<RowAddr, u32> = HashMap::new();
-    let mut worst = 0;
     for _ in 0..acts {
         let mut row = rows.next_row();
         row.channel = 0;
-        *counts.entry(row).or_insert(0) += 1;
         sim.activate(row);
-        // Mitigations may fire for rows other than `row` (victim-refresh
-        // feedback): reset exactly the rows the tracker mitigated.
-        for mitigated in sim.drain_mitigated() {
-            counts.insert(mitigated, 0);
-        }
-        worst = worst.max(*counts.get(&row).unwrap_or(&0));
     }
-    worst
+    let oracle = sim.into_tracker();
+    assert!(
+        oracle.is_clean(),
+        "{}: {:?}",
+        pattern.name(),
+        oracle.violations().first()
+    );
+    oracle.report().worst_unmitigated
 }
 
 fn patterns() -> Vec<AttackPattern> {
@@ -50,7 +51,10 @@ fn patterns() -> Vec<AttackPattern> {
     vec![
         AttackPattern::SingleSided { aggressor: victim },
         AttackPattern::DoubleSided { victim },
-        AttackPattern::ManySided { first: victim, n: 12 },
+        AttackPattern::ManySided {
+            first: victim,
+            n: 12,
+        },
         AttackPattern::HalfDouble { victim, ratio: 8 },
         AttackPattern::Thrash { rows: 900, seed: 5 },
     ]
@@ -62,7 +66,7 @@ fn hydra_bounds_unmitigated_activations_for_all_patterns() {
     for pattern in patterns() {
         let worst = audit(&pattern, 60_000, hydra(geom));
         assert!(
-            worst <= T_H,
+            worst <= u64::from(T_H),
             "{}: worst unmitigated {worst} > T_H {T_H}",
             pattern.name()
         );
@@ -76,8 +80,8 @@ fn oracle_bounds_match_hydra_bounds() {
         let hydra_worst = audit(&pattern, 40_000, hydra(geom));
         let ocpr_worst = audit(&pattern, 40_000, Ocpr::new(geom, 0, T_H).unwrap());
         // The oracle mitigates at exactly T_H; Hydra at or before.
-        assert!(ocpr_worst <= T_H, "{}", pattern.name());
-        assert!(hydra_worst <= T_H, "{}", pattern.name());
+        assert!(ocpr_worst <= u64::from(T_H), "{}", pattern.name());
+        assert!(hydra_worst <= u64::from(T_H), "{}", pattern.name());
     }
 }
 
@@ -92,14 +96,22 @@ fn hydra_never_mitigates_later_than_oracle_on_single_row() {
     let mut o_mitigations = Vec::new();
     for i in 1..=1000u32 {
         if !h
-            .on_activation(row, u64::from(i), hydra_repro::types::ActivationKind::Demand)
+            .on_activation(
+                row,
+                u64::from(i),
+                hydra_repro::types::ActivationKind::Demand,
+            )
             .mitigations
             .is_empty()
         {
             h_mitigations.push(i);
         }
         if !o
-            .on_activation(row, u64::from(i), hydra_repro::types::ActivationKind::Demand)
+            .on_activation(
+                row,
+                u64::from(i),
+                hydra_repro::types::ActivationKind::Demand,
+            )
             .mitigations
             .is_empty()
         {
@@ -124,13 +136,21 @@ fn window_reset_does_not_double_the_effective_threshold_beyond_2x() {
     let row = RowAddr::new(0, 0, 0, 77);
     let mut unmitigated = 0u32;
     for i in 0..(T_H - 1) {
-        let r = h.on_activation(row, u64::from(i), hydra_repro::types::ActivationKind::Demand);
+        let r = h.on_activation(
+            row,
+            u64::from(i),
+            hydra_repro::types::ActivationKind::Demand,
+        );
         assert!(r.mitigations.is_empty());
         unmitigated += 1;
     }
     h.reset_window(1000);
     for i in 0..(T_H - 1) {
-        let r = h.on_activation(row, u64::from(i), hydra_repro::types::ActivationKind::Demand);
+        let r = h.on_activation(
+            row,
+            u64::from(i),
+            hydra_repro::types::ActivationKind::Demand,
+        );
         assert!(r.mitigations.is_empty(), "mitigated early after reset");
         unmitigated += 1;
     }
@@ -139,7 +159,11 @@ fn window_reset_does_not_double_the_effective_threshold_beyond_2x() {
     let mut tripped = false;
     for i in 0..=T_H {
         if !h
-            .on_activation(row, u64::from(i), hydra_repro::types::ActivationKind::Demand)
+            .on_activation(
+                row,
+                u64::from(i),
+                hydra_repro::types::ActivationKind::Demand,
+            )
             .mitigations
             .is_empty()
         {

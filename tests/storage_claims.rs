@@ -1,9 +1,7 @@
 //! The paper's storage claims (Tables 1, 4, 5), asserted exactly where the
 //! paper gives exact numbers and within tolerance where it rounds.
 
-use hydra_repro::baselines::storage::{
-    Scheme, DDR4_BANKS_PER_RANK, DDR5_BANKS_PER_RANK,
-};
+use hydra_repro::baselines::storage::{Scheme, DDR4_BANKS_PER_RANK, DDR5_BANKS_PER_RANK};
 use hydra_repro::core::{HydraConfig, HydraStorage};
 use hydra_repro::types::MemGeometry;
 

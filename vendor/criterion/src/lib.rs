@@ -1,0 +1,187 @@
+//! Offline stand-in for the subset of the `criterion` API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation: it runs each benchmark closure in a
+//! short timing loop and prints mean per-iteration time, without warmup
+//! phases, outlier analysis, or HTML reports. When invoked with `--test`
+//! (as `cargo test` does for bench targets), each benchmark runs exactly
+//! once so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Compatibility no-op (the real crate reads CLI flags here; the shim
+    /// reads them in [`Criterion::default`]).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((iters, elapsed)) if !self.test_mode => {
+                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{name:<40} {per_iter:>12.1} ns/iter ({iters} iters)");
+            }
+            _ => println!("{name:<40} ok (test mode)"),
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.criterion.bench_function(name, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Drives the timed iteration loop.
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, calling it repeatedly until the measurement budget is
+    /// spent (once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.report = Some((1, Duration::ZERO));
+            return;
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            // Check the clock once every few iterations to keep overhead low.
+            if iters.is_multiple_of(16) && start.elapsed() >= self.measurement_time {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion {
+            test_mode: true,
+            measurement_time: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.bench_function("probe", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion {
+            test_mode: true,
+            measurement_time: Duration::from_millis(1),
+        };
+        let mut count = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("a", |b| b.iter(|| count += 1));
+            g.bench_function("b", |b| b.iter(|| count += 1));
+        }
+        assert_eq!(count, 2);
+    }
+}
