@@ -11,8 +11,21 @@
 //!
 //! Exit code 0 iff every stock configuration audits secure *and* every
 //! crafted bad configuration is correctly flagged insecure.
+//!
+//! With `--faults` it instead runs the dynamic fault-resilience sweep:
+//!
+//! ```text
+//! cargo run -p hydra-analysis --bin hydra-audit -- --faults
+//!     [--geometry tiny|isca22|ddr5] [--t-rh N] [--acts N]
+//! ```
+//!
+//! printing, per geometry (default: tiny and isca22), the degradation
+//! table — uniform fault rate × degradation policy → worst-case excess
+//! activations under the shadow oracle. Exit code 0 iff every zero-rate
+//! row is violation-free (the fault machinery must be inert when disabled).
 
 use hydra_analysis::audit::{audit_hydra, AuditReport};
+use hydra_analysis::faults::{degradation_table, render_table};
 use hydra_core::HydraConfig;
 use hydra_types::MemGeometry;
 use std::process::ExitCode;
@@ -34,19 +47,30 @@ fn geometry_by_name(name: &str) -> Option<MemGeometry> {
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut faults = false;
     let mut t_rh: u32 = 500;
+    let mut acts: u64 = 40_000;
     let mut geometries: Vec<&'static str> = vec!["tiny", "isca22", "ddr5"];
+    let mut geometry_overridden = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--faults" => faults = true,
             "--t-rh" => {
                 i += 1;
                 t_rh = match args.get(i).and_then(|v| v.parse().ok()) {
                     Some(v) => v,
                     None => return usage("--t-rh needs an integer argument"),
+                };
+            }
+            "--acts" => {
+                i += 1;
+                acts = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage("--acts needs an integer argument"),
                 };
             }
             "--geometry" => {
@@ -58,6 +82,7 @@ fn main() -> ExitCode {
                             "isca22" => "isca22",
                             _ => "ddr5",
                         }];
+                        geometry_overridden = true;
                     }
                     _ => return usage("--geometry must be tiny, isca22 or ddr5"),
                 }
@@ -66,6 +91,18 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown argument {other}")),
         }
         i += 1;
+    }
+
+    if faults {
+        if json {
+            return usage("--json is not supported with --faults");
+        }
+        if !geometry_overridden {
+            // The dynamic sweep defaults to the two geometries the paper's
+            // evaluation centers on; ddr5 is opt-in via --geometry.
+            geometries = vec!["tiny", "isca22"];
+        }
+        return faults_mode(&geometries, t_rh, acts);
     }
 
     let mut cases: Vec<Case> = Vec::new();
@@ -179,11 +216,47 @@ fn main() -> ExitCode {
     }
 }
 
+/// Runs the fault-resilience sweep on each geometry and prints the
+/// degradation tables. Fails iff a zero-rate row records a violation —
+/// faults aside, the tracker itself must hold the security contract.
+fn faults_mode(geometries: &[&str], t_rh: u32, acts: u64) -> ExitCode {
+    let mut dirty_zero_rows = 0usize;
+    for name in geometries {
+        let rows = match degradation_table(name, t_rh, acts) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("hydra-audit: fault sweep on {name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for row in rows.iter().filter(|r| r.rate == 0.0) {
+            if !row.report.is_clean() {
+                dirty_zero_rows += 1;
+                eprintln!(
+                    "hydra-audit: zero-fault row {} recorded {} violation(s)",
+                    row.report.label, row.report.oracle.violations_total
+                );
+            }
+        }
+        println!("{}", render_table(name, t_rh, &rows));
+    }
+    if dirty_zero_rows == 0 {
+        println!("hydra-audit: all zero-fault rows violation-free");
+        ExitCode::SUCCESS
+    } else {
+        println!("hydra-audit: {dirty_zero_rows} zero-fault row(s) recorded violations");
+        ExitCode::FAILURE
+    }
+}
+
 fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("hydra-audit: {error}");
     }
-    eprintln!("usage: hydra-audit [--geometry tiny|isca22|ddr5] [--t-rh N] [--json]");
+    eprintln!(
+        "usage: hydra-audit [--geometry tiny|isca22|ddr5] [--t-rh N] [--json]\n       \
+         hydra-audit --faults [--geometry tiny|isca22|ddr5] [--t-rh N] [--acts N]"
+    );
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -23,8 +23,14 @@
 //! 3. [`lint`] — a **repository lint gate** enforcing workspace-wide
 //!    invariants (`#![forbid(unsafe_code)]` everywhere, no
 //!    `unwrap()`/`expect()` in non-test library code, builder docs
-//!    consistent with builder behavior), exposed as the `repo-lint` binary
-//!    for CI.
+//!    consistent with builder behavior, `catch_unwind` confined to the
+//!    batch-harness layer), exposed as the `repo-lint` binary for CI.
+//!
+//! 4. [`faults`] — a **fault-resilience evaluator**: deterministic
+//!    [`faults::FaultCaseSpec`] runs driving a fault-injected Hydra
+//!    (`hydra-faults`) under the [`oracle::ShadowOracle`] referee, the
+//!    degradation table behind `hydra-audit --faults`, and the replay
+//!    artifact format used by the batch harness.
 //!
 //! # Example
 //!
@@ -45,9 +51,11 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod faults;
 pub mod fixtures;
 pub mod lint;
 pub mod oracle;
 
 pub use audit::{audit_hydra, AuditCheck, AuditReport, SecurityVerdict};
+pub use faults::{degradation_table, run_case, FaultCaseReport, FaultCaseSpec};
 pub use oracle::{OracleReport, ShadowOracle, Violation, ViolationKind};

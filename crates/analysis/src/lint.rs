@@ -15,6 +15,10 @@
 //!   "reject") must actually contain a fallible path, and no `build()` body
 //!   may silently clamp a user-supplied field (`self.field.min(...)` /
 //!   `self.field.max(...)`) instead of rejecting it.
+//! * **`catch-unwind-layer`** — `catch_unwind` may appear only in the batch
+//!   harness (`crates/sim/src/batch.rs`). Everywhere else a panic is a bug
+//!   that must surface; swallowing one mid-simulation would let a corrupted
+//!   run masquerade as a result.
 //!
 //! The scanner is line-based: string literals are blanked and `//` comments
 //! stripped before matching, and `#[cfg(test)]` modules are tracked by brace
@@ -34,7 +38,8 @@ pub struct LintDiagnostic {
     pub file: PathBuf,
     /// 1-based line number (0 = whole file).
     pub line: usize,
-    /// Rule identifier (`forbid-unsafe`, `no-unwrap`, `doc-consistency`).
+    /// Rule identifier (`forbid-unsafe`, `no-unwrap`, `doc-consistency`,
+    /// `catch-unwind-layer`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -164,6 +169,19 @@ fn lint_library_source(file: &Path, text: &str, diagnostics: &mut Vec<LintDiagno
         let in_test = test_mod_depth.is_some();
         let in_build = build_fn_depth.is_some();
 
+        // Rule: catch-unwind-layer — panic containment is the batch
+        // harness's exclusive privilege, test modules included (the
+        // harness's own tests live in the allowed file anyway).
+        if code.contains("catch_unwind") && !is_panic_boundary(file) {
+            diagnostics.push(LintDiagnostic {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "catch-unwind-layer",
+                message: "catch_unwind outside the batch harness (crates/sim/src/batch.rs); let panics propagate and run risky work through BatchRunner instead"
+                    .to_string(),
+            });
+        }
+
         // Rule: no-unwrap (non-test library code only).
         if !in_test && (code.contains(".unwrap()") || code.contains(".expect(")) {
             diagnostics.push(LintDiagnostic {
@@ -258,6 +276,15 @@ fn lint_library_source(file: &Path, text: &str, diagnostics: &mut Vec<LintDiagno
             recent_docs.clear();
         }
     }
+}
+
+/// True for the one file allowed to contain `catch_unwind`: the batch
+/// harness at `crates/sim/src/batch.rs`.
+fn is_panic_boundary(file: &Path) -> bool {
+    let mut tail = file.components().rev().map(|c| c.as_os_str());
+    tail.next().is_some_and(|c| c == "batch.rs")
+        && tail.next().is_some_and(|c| c == "src")
+        && tail.next().is_some_and(|c| c == "sim")
 }
 
 /// Finds a `self.<field>.<method>(` pattern in a code line, returning the
@@ -464,6 +491,42 @@ mod tests {
             "fn inner(n: u32) -> Result<u32, ()> { if n == 0 { Err(()) } else { Ok(n) } }\npub struct B { n: u32 }\nimpl B {\n    /// # Errors\n    /// Rejects zero.\n    pub fn build(&self) -> Result<u32, ()> {\n        Ok(inner(self.n)?)\n    }\n}\n",
         );
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_unwind_catching_outside_the_harness() {
+        let diags = lint_one(
+            "unwind",
+            "pub fn f() {\n    let _ = std::panic::catch_unwind(|| 1);\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "catch-unwind-layer");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn allows_unwind_catching_in_the_batch_harness() {
+        let root = scratch_dir("unwindok");
+        fs::create_dir_all(root.join("crates/sim/src")).unwrap();
+        fs::write(
+            root.join("crates/sim/src/batch.rs"),
+            "pub fn f() {\n    let _ = std::panic::catch_unwind(|| 1);\n}\n",
+        )
+        .unwrap();
+        fs::write(root.join("src/lib.rs"), "#![forbid(unsafe_code)]\n").unwrap();
+        let diags = lint_workspace(&root).unwrap();
+        let _ = fs::remove_dir_all(&root);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unwind_rule_covers_test_modules_too() {
+        let diags = lint_one(
+            "unwindtest",
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::panic::catch_unwind(|| 1);\n    }\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "catch-unwind-layer");
     }
 
     #[test]

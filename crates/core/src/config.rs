@@ -6,6 +6,7 @@
 //! paper's headline totals (32K-entry GCT and 8K-entry RCC across two
 //! channels → 16K and 4K per instance).
 
+use crate::degrade::DegradationPolicy;
 use crate::indexing::GroupIndexer;
 use hydra_types::error::ConfigError;
 use hydra_types::geometry::MemGeometry;
@@ -63,6 +64,10 @@ pub struct HydraConfig {
     /// Row-to-group mapping: static (consecutive rows) or randomized via a
     /// per-window block cipher (footnote 4).
     pub indexer: GroupIndexer,
+    /// What to do when an RCT read fails its per-entry parity check (see
+    /// [`crate::degrade`]). Default: [`DegradationPolicy::Off`], the seed
+    /// behavior (no parity tracking at all).
+    pub degradation: DegradationPolicy,
 }
 
 impl HydraConfig {
@@ -149,6 +154,7 @@ pub struct HydraConfigBuilder {
     use_rcc: bool,
     count_mitigation_acts: bool,
     indexer: Option<GroupIndexer>,
+    degradation: DegradationPolicy,
 }
 
 impl HydraConfigBuilder {
@@ -170,6 +176,7 @@ impl HydraConfigBuilder {
             use_rcc: true,
             count_mitigation_acts: true,
             indexer: None,
+            degradation: DegradationPolicy::Off,
         }
     }
 
@@ -235,6 +242,13 @@ impl HydraConfigBuilder {
     /// Uses a specific row-to-group indexer (default: static).
     pub fn indexer(&mut self, indexer: GroupIndexer) -> &mut Self {
         self.indexer = Some(indexer);
+        self
+    }
+
+    /// Sets the graceful-degradation policy for parity failures on RCT
+    /// reads (default: [`DegradationPolicy::Off`]).
+    pub fn degradation(&mut self, policy: DegradationPolicy) -> &mut Self {
+        self.degradation = policy;
         self
     }
 
@@ -340,6 +354,7 @@ impl HydraConfigBuilder {
             use_rcc: self.use_rcc,
             count_mitigation_acts: self.count_mitigation_acts,
             indexer,
+            degradation: self.degradation,
         })
     }
 }

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod degrade;
 pub mod gct;
 pub mod indexing;
 pub mod rcc;
@@ -61,10 +62,11 @@ pub mod storage;
 pub mod tracker;
 
 pub use config::{HydraConfig, HydraConfigBuilder};
+pub use degrade::{DegradationPolicy, HealthReport};
 pub use gct::{GctOutcome, GroupCountTable};
 pub use indexing::GroupIndexer;
 pub use rcc::{RccEntry, RowCountCache};
-pub use rct::RowCountTable;
+pub use rct::{RctBackend, RowCountTable};
 pub use rit::RitActTable;
 pub use stats::HydraStats;
 pub use storage::HydraStorage;

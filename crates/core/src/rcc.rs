@@ -199,6 +199,35 @@ impl RowCountCache {
         }
     }
 
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Fault-injection seam: XORs `xor` into the count of `(set, way)` if
+    /// that way is valid, modeling an SRAM data upset on fill. The mask is
+    /// restricted to the low 8 bits so the corrupted count still fits the
+    /// one-byte RCT entry it will eventually be written back to. Returns
+    /// whether a valid way was hit.
+    pub fn corrupt_way(&mut self, set: usize, way: usize, xor: u32) -> bool {
+        let w = &mut self.sets[set][way];
+        if !w.valid {
+            return false;
+        }
+        w.count ^= xor & 0xFF;
+        true
+    }
+
+    /// Fault-injection seam: invalidates `(set, way)`, modeling a tag upset
+    /// that makes the entry unreachable (its dirty count is lost). Returns
+    /// whether a valid way was hit.
+    pub fn invalidate_way(&mut self, set: usize, way: usize) -> bool {
+        let w = &mut self.sets[set][way];
+        let was_valid = w.valid;
+        *w = Way::default();
+        was_valid
+    }
+
     /// Number of valid entries (diagnostics).
     pub fn occupancy(&self) -> usize {
         self.sets

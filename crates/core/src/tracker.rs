@@ -1,9 +1,10 @@
 //! The Hydra tracker: GCT → RCC → RCT orchestration (Sec. 4.5).
 
 use crate::config::HydraConfig;
+use crate::degrade::{DegradeState, HealthReport, ReadVerdict};
 use crate::gct::{GctOutcome, GroupCountTable};
 use crate::rcc::RowCountCache;
-use crate::rct::RowCountTable;
+use crate::rct::{RctBackend, RowCountTable};
 use crate::rit::RitActTable;
 use crate::stats::HydraStats;
 use crate::storage::HydraStorage;
@@ -19,13 +20,19 @@ use hydra_types::tracker::{ActivationKind, ActivationTracker, SideRequest, Track
 /// of a row in this instance's channel, and call
 /// [`reset_window`](ActivationTracker::reset_window) every tracking window
 /// (64 ms). See the crate-level docs for the protocol and an example.
+///
+/// The in-DRAM counter table is pluggable via the [`RctBackend`] type
+/// parameter (default: the real [`RowCountTable`]); fault-injection shims
+/// wrap the table through [`Hydra::with_rct`] without forking the tracking
+/// logic.
 #[derive(Debug, Clone)]
-pub struct Hydra {
+pub struct Hydra<R: RctBackend = RowCountTable> {
     config: HydraConfig,
     gct: GroupCountTable,
     rcc: RowCountCache,
-    rct: RowCountTable,
+    rct: R,
     rit: RitActTable,
+    degrade: DegradeState,
     stats: HydraStats,
     rows_per_group: u64,
     windows: u64,
@@ -39,25 +46,8 @@ impl Hydra {
     /// Returns [`ConfigError`] if the indexer's domain does not match the
     /// channel's row count.
     pub fn new(config: HydraConfig) -> Result<Self, ConfigError> {
-        let rows = config.rows_covered();
-        if config.indexer.rows() != rows {
-            return Err(ConfigError::new(format!(
-                "indexer covers {} rows but channel has {rows}",
-                config.indexer.rows()
-            )));
-        }
         let rct = RowCountTable::new(config.geometry, config.channel);
-        let rit = RitActTable::new(rct.reserved_row_count() as usize, config.t_h);
-        Ok(Hydra {
-            gct: GroupCountTable::new(config.gct_entries, config.t_g),
-            rcc: RowCountCache::new(config.rcc_entries, config.rcc_ways),
-            rct,
-            rit,
-            stats: HydraStats::default(),
-            rows_per_group: config.rows_per_group(),
-            windows: 0,
-            config,
-        })
+        Hydra::with_rct(config, rct)
     }
 
     /// Convenience constructor for the paper's default design point.
@@ -71,6 +61,50 @@ impl Hydra {
     ) -> Result<Self, ConfigError> {
         Hydra::new(HydraConfig::isca22_default(geometry, channel)?)
     }
+}
+
+impl<R: RctBackend> Hydra<R> {
+    /// Creates a Hydra instance over a caller-provided RCT backend (e.g. a
+    /// fault-injecting wrapper around [`RowCountTable`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the indexer's domain or the backend's
+    /// entry count does not match the channel's row count.
+    pub fn with_rct(config: HydraConfig, rct: R) -> Result<Self, ConfigError> {
+        let rows = config.rows_covered();
+        if config.indexer.rows() != rows {
+            return Err(ConfigError::new(format!(
+                "indexer covers {} rows but channel has {rows}",
+                config.indexer.rows()
+            )));
+        }
+        if rct.entry_count() != rows {
+            return Err(ConfigError::new(format!(
+                "RCT backend covers {} rows but channel has {rows}",
+                rct.entry_count()
+            )));
+        }
+        let rit = RitActTable::new(rct.reserved_row_count() as usize, config.t_h);
+        let degrade = DegradeState::new(
+            config.degradation,
+            rct.entry_count(),
+            config.gct_entries,
+            config.t_g,
+            config.t_h,
+        );
+        Ok(Hydra {
+            gct: GroupCountTable::new(config.gct_entries, config.t_g),
+            rcc: RowCountCache::new(config.rcc_entries, config.rcc_ways),
+            rct,
+            rit,
+            degrade,
+            stats: HydraStats::default(),
+            rows_per_group: config.rows_per_group(),
+            windows: 0,
+            config,
+        })
+    }
 
     /// The configuration this instance was built with.
     pub fn config(&self) -> &HydraConfig {
@@ -80,6 +114,20 @@ impl Hydra {
     /// Cumulative event counters (drives Fig. 6).
     pub fn stats(&self) -> HydraStats {
         self.stats
+    }
+
+    /// A point-in-time summary of the degradation layer (parity detections
+    /// and recoveries).
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            policy: self.degrade.policy(),
+            parity_errors: self.stats.parity_errors,
+            reinits: self.stats.degraded_reinits,
+            escalated_refreshes: self.stats.degraded_refreshes,
+            probabilistic_mitigations: self.stats.degraded_probabilistic,
+            degraded_groups: self.degrade.degraded_groups(),
+            windows: self.windows,
+        }
     }
 
     /// The storage model for this instance.
@@ -97,14 +145,29 @@ impl Hydra {
         &self.rcc
     }
 
-    /// Direct access to the RCT (diagnostics/tests).
-    pub fn rct(&self) -> &RowCountTable {
+    /// Direct access to the RCT backend (diagnostics/tests).
+    pub fn rct(&self) -> &R {
         &self.rct
     }
 
     /// Direct access to the RIT-ACT table (diagnostics/tests).
     pub fn rit(&self) -> &RitActTable {
         &self.rit
+    }
+
+    /// Mutable GCT access — a fault-injection seam (stuck-at counters).
+    pub fn gct_mut(&mut self) -> &mut GroupCountTable {
+        &mut self.gct
+    }
+
+    /// Mutable RCC access — a fault-injection seam (fill corruption).
+    pub fn rcc_mut(&mut self) -> &mut RowCountCache {
+        &mut self.rcc
+    }
+
+    /// Mutable RCT-backend access — a fault-injection seam.
+    pub fn rct_mut(&mut self) -> &mut R {
+        &mut self.rct
     }
 
     /// True if `row` belongs to the reserved RCT region of this channel.
@@ -148,7 +211,24 @@ impl Hydra {
                 response
                     .side_requests
                     .push(SideRequest::read(self.rct.dram_row_of_slot(slot)));
-                self.rct.read(slot) + 1
+                let stored = self.rct.read(slot);
+                let group = (slot / self.rows_per_group) as usize;
+                match self.degrade.verify_read(slot, stored, group) {
+                    ReadVerdict::Clean(v) => v + 1,
+                    ReadVerdict::Recovered { value, mitigate } => {
+                        self.stats.parity_errors += 1;
+                        if mitigate {
+                            // Escalation: refresh the victim now; tracking
+                            // restarts from the substituted value.
+                            self.stats.degraded_refreshes += 1;
+                            self.stats.mitigations += 1;
+                            response.mitigations.push(MitigationRequest::new(row));
+                        } else {
+                            self.stats.degraded_reinits += 1;
+                        }
+                        value + 1
+                    }
+                }
             }
         };
         if count >= t_h {
@@ -162,6 +242,7 @@ impl Hydra {
                 if self.config.rcc_writeback {
                     // Valid entries are always dirty: write the victim back.
                     self.rct.write(evicted.slot, evicted.count);
+                    self.degrade.record_write(evicted.slot, evicted.count);
                     self.stats.side_writes += 1;
                     response
                         .side_requests
@@ -173,6 +254,7 @@ impl Hydra {
         } else {
             // No RCC: read-modify-write straight to DRAM.
             self.rct.write(slot, count);
+            self.degrade.record_write(slot, count);
             self.stats.side_writes += 1;
             response
                 .side_requests
@@ -187,6 +269,8 @@ impl Hydra {
         let t_g = self.config.t_g;
         let group_start = (slot / self.rows_per_group) * self.rows_per_group;
         let touched = self.rct.init_group(group_start, self.rows_per_group, t_g);
+        self.degrade
+            .record_group(group_start, self.rows_per_group, t_g);
         let lines = RowCountTable::lines_per_group(self.rows_per_group);
         self.stats.group_spills += 1;
         self.stats.rct_accesses += 1;
@@ -206,7 +290,7 @@ impl Hydra {
     }
 }
 
-impl ActivationTracker for Hydra {
+impl<R: RctBackend> ActivationTracker for Hydra<R> {
     fn on_activation(
         &mut self,
         row: RowAddr,
@@ -240,9 +324,9 @@ impl ActivationTracker for Hydra {
 
         let row_index = self.config.geometry.channel_row_index(row);
         let slot = self.config.indexer.slot_of_row(row_index);
+        let group = (slot / self.rows_per_group) as usize;
 
         if self.config.use_gct {
-            let group = (slot / self.rows_per_group) as usize;
             match self.gct.increment(group) {
                 GctOutcome::Below => {
                     // Case 1: aggregate tracking suffices (~90.7 % of ACTs).
@@ -258,6 +342,14 @@ impl ActivationTracker for Hydra {
         } else {
             // Hydra-NoGCT ablation: every activation takes the per-row path.
             self.per_row_path(row, slot, None, &mut response);
+        }
+
+        // Probabilistic-fallback degradation: activations routed to a group
+        // with detected (hence possibly undetected) corruption additionally
+        // draw a PARA-style mitigation until the window resets.
+        if self.degrade.fallback_mitigate(group) {
+            self.stats.degraded_probabilistic += 1;
+            response.mitigations.push(MitigationRequest::new(row));
         }
         response
     }
@@ -275,10 +367,12 @@ impl ActivationTracker for Hydra {
         self.config
             .indexer
             .rotate_key(windows.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        self.degrade.on_window_reset();
         if !self.config.use_gct {
             // Without a GCT there is no spill to overwrite stale counts, so
             // model the window reset on the backing table directly.
             self.rct.reset();
+            self.degrade.reset_parity();
         }
     }
 
@@ -602,6 +696,80 @@ mod tests {
         let h = small();
         assert_eq!(h.name(), "hydra");
         assert!(h.sram_bytes() > 0);
+    }
+
+    fn small_with_policy(policy: crate::degrade::DegradationPolicy) -> Hydra {
+        let geom = MemGeometry::tiny();
+        let config = HydraConfig::builder(geom, 0)
+            .thresholds(16, 12)
+            .gct_entries(64)
+            .rcc_entries(32)
+            .rcc_ways(4)
+            .degradation(policy)
+            .build()
+            .unwrap();
+        Hydra::new(config).unwrap()
+    }
+
+    #[test]
+    fn parity_detects_corruption_and_reinit_restores_tg() {
+        use crate::degrade::DegradationPolicy;
+        let mut h = small_with_policy(DegradationPolicy::ConservativeReinit);
+        let a = RowAddr::new(0, 0, 0, 0);
+        let b = RowAddr::new(0, 0, 0, 1);
+        // Saturate group 0 via row b: the spill writes T_G = 12 everywhere
+        // (parity recorded).
+        for _ in 0..12 {
+            act(&mut h, b);
+        }
+        // Corrupt row a's RCT entry behind the parity guard's back:
+        // 12 (even parity) -> 2 (odd parity) is detected.
+        h.rct_mut().write(0, 2);
+        // With the corrupted value an attacker would gain 10 activations of
+        // headroom; re-init restores T_G so a mitigates after 4 acts.
+        let mut first = None;
+        for i in 1..=8 {
+            if !act(&mut h, a).mitigations.is_empty() {
+                first = Some(i);
+                break;
+            }
+        }
+        assert_eq!(first, Some(4));
+        let s = h.stats();
+        assert_eq!(s.parity_errors, 1);
+        assert_eq!(s.degraded_reinits, 1);
+        assert!(!h.health().is_healthy());
+    }
+
+    #[test]
+    fn immediate_refresh_policy_mitigates_on_detection() {
+        use crate::degrade::DegradationPolicy;
+        let mut h = small_with_policy(DegradationPolicy::ImmediateRefresh);
+        let a = RowAddr::new(0, 0, 0, 0);
+        let b = RowAddr::new(0, 0, 0, 1);
+        for _ in 0..12 {
+            act(&mut h, b);
+        }
+        h.rct_mut().write(0, 2);
+        let resp = act(&mut h, a);
+        assert_eq!(resp.mitigations.len(), 1, "escalates straight away");
+        assert_eq!(h.stats().degraded_refreshes, 1);
+    }
+
+    #[test]
+    fn active_policy_without_faults_matches_stock_behavior() {
+        use crate::degrade::DegradationPolicy;
+        let mut stock = small();
+        let mut guarded = small_with_policy(DegradationPolicy::ProbabilisticFallback { seed: 3 });
+        // A stream mixing spills, RCC hits, evictions and mitigations.
+        for i in 0..400u32 {
+            let row = RowAddr::new(0, 0, 0, (i * 7) % 40);
+            let r1 = stock.on_activation(row, u64::from(i), ActivationKind::Demand);
+            let r2 = guarded.on_activation(row, u64::from(i), ActivationKind::Demand);
+            assert_eq!(r1, r2, "act {i}");
+        }
+        assert_eq!(guarded.stats().parity_errors, 0);
+        assert!(guarded.health().is_healthy());
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! The fault-plan DSL: a declarative, seedable description of which faults
+//! to inject and how often.
+//!
+//! A [`FaultPlan`] is pure data — rates, counts and one RNG seed. The same
+//! plan applied to the same tracker and the same activation stream produces
+//! bit-identical fault sequences, which is what makes failing runs
+//! replayable (see the batch harness in `hydra-sim`).
+
+use std::fmt;
+
+/// A deterministic fault-injection plan.
+///
+/// All `*_rate` fields are per-event probabilities in `[0, 1]`:
+///
+/// | field | event it gates | seam |
+/// |---|---|---|
+/// | `rct_read_flip` | each RCT counter read | [`crate::FaultyRct`] |
+/// | `rct_write_flip` | each RCT counter write/write-back | [`crate::FaultyRct`] |
+/// | `rcc_fill_corrupt` | each activation (upsets one resident RCC way) | [`crate::FaultyTracker`] |
+/// | `drop_mitigation` | each issued mitigation | [`crate::FaultyTracker`] |
+/// | `delay_mitigation` | each issued mitigation | [`crate::FaultyTracker`] |
+/// | `postpone_reset` | each window reset | [`crate::FaultyTracker`] |
+///
+/// `gct_stuck` lists `(group, value)` stuck-at faults applied continuously.
+///
+/// # Example
+///
+/// ```
+/// use hydra_faults::FaultPlan;
+/// let plan = FaultPlan::none().with_seed(7).with_rct_read_flip(1e-3);
+/// assert!(!plan.is_zero());
+/// let text: Vec<String> = plan.to_kv_lines();
+/// let parsed = FaultPlan::from_kv_lines(text.iter().map(|s| s.as_str())).unwrap();
+/// assert_eq!(parsed, plan);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault-injection RNG streams.
+    pub seed: u64,
+    /// Probability a read RCT counter has one random bit flipped.
+    pub rct_read_flip: f64,
+    /// Probability a written RCT counter has one random bit flipped.
+    pub rct_write_flip: f64,
+    /// Per-activation probability of corrupting one resident RCC way
+    /// (random single-bit data upset, modeling an SRAM fill fault).
+    pub rcc_fill_corrupt: f64,
+    /// `(group, value)` GCT stuck-at faults, re-asserted on every
+    /// activation (value is capped at `T_G` by the GCT).
+    pub gct_stuck: Vec<(usize, u32)>,
+    /// Probability an issued mitigation is silently dropped.
+    pub drop_mitigation: f64,
+    /// Probability an issued mitigation is delayed by
+    /// [`delay_acts`](Self::delay_acts) activations instead of firing now.
+    pub delay_mitigation: f64,
+    /// Activations a delayed mitigation waits before being released.
+    pub delay_acts: u64,
+    /// Probability a window reset is postponed by
+    /// [`reset_jitter_acts`](Self::reset_jitter_acts) activations.
+    pub postpone_reset: f64,
+    /// Activations a postponed reset waits before being applied.
+    pub reset_jitter_acts: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The zero-fault plan: every rate 0, no stuck-at faults. Wrappers
+    /// driven by this plan are bit-identical to the wrapped tracker.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            rct_read_flip: 0.0,
+            rct_write_flip: 0.0,
+            rcc_fill_corrupt: 0.0,
+            gct_stuck: Vec::new(),
+            drop_mitigation: 0.0,
+            delay_mitigation: 0.0,
+            delay_acts: 64,
+            postpone_reset: 0.0,
+            reset_jitter_acts: 256,
+        }
+    }
+
+    /// True if this plan injects nothing.
+    pub fn is_zero(&self) -> bool {
+        self.rct_read_flip == 0.0
+            && self.rct_write_flip == 0.0
+            && self.rcc_fill_corrupt == 0.0
+            && self.gct_stuck.is_empty()
+            && self.drop_mitigation == 0.0
+            && self.delay_mitigation == 0.0
+            && self.postpone_reset == 0.0
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the RCT read-flip rate.
+    pub fn with_rct_read_flip(mut self, rate: f64) -> Self {
+        self.rct_read_flip = checked_rate(rate, "rct_read_flip");
+        self
+    }
+
+    /// Sets the RCT write-flip rate.
+    pub fn with_rct_write_flip(mut self, rate: f64) -> Self {
+        self.rct_write_flip = checked_rate(rate, "rct_write_flip");
+        self
+    }
+
+    /// Sets the RCC fill-corruption rate.
+    pub fn with_rcc_fill_corrupt(mut self, rate: f64) -> Self {
+        self.rcc_fill_corrupt = checked_rate(rate, "rcc_fill_corrupt");
+        self
+    }
+
+    /// Adds a GCT stuck-at fault.
+    pub fn with_gct_stuck(mut self, group: usize, value: u32) -> Self {
+        self.gct_stuck.push((group, value));
+        self
+    }
+
+    /// Sets the mitigation-drop rate.
+    pub fn with_drop_mitigation(mut self, rate: f64) -> Self {
+        self.drop_mitigation = checked_rate(rate, "drop_mitigation");
+        self
+    }
+
+    /// Sets the mitigation-delay rate and delay length.
+    pub fn with_delay_mitigation(mut self, rate: f64, delay_acts: u64) -> Self {
+        self.delay_mitigation = checked_rate(rate, "delay_mitigation");
+        self.delay_acts = delay_acts;
+        self
+    }
+
+    /// Sets the reset-postponement rate and jitter length.
+    pub fn with_postpone_reset(mut self, rate: f64, jitter_acts: u64) -> Self {
+        self.postpone_reset = checked_rate(rate, "postpone_reset");
+        self.reset_jitter_acts = jitter_acts;
+        self
+    }
+
+    /// A uniform plan: every rate set to `rate` (mitigation-drop included),
+    /// no stuck-at faults. The workhorse of the degradation table.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        FaultPlan::none()
+            .with_seed(seed)
+            .with_rct_read_flip(rate)
+            .with_rct_write_flip(rate)
+            .with_rcc_fill_corrupt(rate)
+            .with_drop_mitigation(rate)
+            .with_delay_mitigation(rate, 64)
+            .with_postpone_reset(rate, 256)
+    }
+
+    /// Serializes to `fault.key=value` lines (the replay-artifact format).
+    pub fn to_kv_lines(&self) -> Vec<String> {
+        let mut lines = vec![
+            format!("fault.seed={}", self.seed),
+            format!("fault.rct_read_flip={}", self.rct_read_flip),
+            format!("fault.rct_write_flip={}", self.rct_write_flip),
+            format!("fault.rcc_fill_corrupt={}", self.rcc_fill_corrupt),
+            format!("fault.drop_mitigation={}", self.drop_mitigation),
+            format!("fault.delay_mitigation={}", self.delay_mitigation),
+            format!("fault.delay_acts={}", self.delay_acts),
+            format!("fault.postpone_reset={}", self.postpone_reset),
+            format!("fault.reset_jitter_acts={}", self.reset_jitter_acts),
+        ];
+        for (group, value) in &self.gct_stuck {
+            lines.push(format!("fault.gct_stuck={group}:{value}"));
+        }
+        lines
+    }
+
+    /// Parses `fault.key=value` lines produced by
+    /// [`to_kv_lines`](Self::to_kv_lines). Unknown `fault.*` keys are
+    /// rejected; non-`fault.` lines are ignored so a whole artifact can be
+    /// fed through.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_kv_lines<'a, I: IntoIterator<Item = &'a str>>(lines: I) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for line in lines {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("fault.") else {
+                continue;
+            };
+            let (key, value) = rest
+                .split_once('=')
+                .ok_or_else(|| format!("malformed fault line: {line}"))?;
+            let bad = |e: &dyn fmt::Display| format!("bad value for fault.{key}: {e}");
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|e| bad(&e))?,
+                "rct_read_flip" => plan.rct_read_flip = parse_rate(value, key)?,
+                "rct_write_flip" => plan.rct_write_flip = parse_rate(value, key)?,
+                "rcc_fill_corrupt" => plan.rcc_fill_corrupt = parse_rate(value, key)?,
+                "drop_mitigation" => plan.drop_mitigation = parse_rate(value, key)?,
+                "delay_mitigation" => plan.delay_mitigation = parse_rate(value, key)?,
+                "delay_acts" => plan.delay_acts = value.parse().map_err(|e| bad(&e))?,
+                "postpone_reset" => plan.postpone_reset = parse_rate(value, key)?,
+                "reset_jitter_acts" => {
+                    plan.reset_jitter_acts = value.parse().map_err(|e| bad(&e))?
+                }
+                "gct_stuck" => {
+                    let (g, v) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("gct_stuck wants group:value, got {value}"))?;
+                    plan.gct_stuck.push((
+                        g.parse().map_err(|e| bad(&e))?,
+                        v.parse().map_err(|e| bad(&e))?,
+                    ));
+                }
+                other => return Err(format!("unknown fault key: fault.{other}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn checked_rate(rate: f64, what: &str) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "{what} rate {rate} outside [0, 1]"
+    );
+    rate
+}
+
+fn parse_rate(value: &str, key: &str) -> Result<f64, String> {
+    let rate: f64 = value
+        .parse()
+        .map_err(|e| format!("bad value for fault.{key}: {e}"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("fault.{key} rate {rate} outside [0, 1]"));
+    }
+    Ok(rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero() {
+        assert!(FaultPlan::none().is_zero());
+        assert!(!FaultPlan::none().with_rct_read_flip(0.5).is_zero());
+        assert!(!FaultPlan::none().with_gct_stuck(3, 0).is_zero());
+    }
+
+    #[test]
+    fn kv_round_trip() {
+        let plan = FaultPlan::uniform(1e-3, 99)
+            .with_gct_stuck(5, 0)
+            .with_gct_stuck(9, 200);
+        let lines = plan.to_kv_lines();
+        let parsed =
+            FaultPlan::from_kv_lines(lines.iter().map(|s| s.as_str())).expect("round trip");
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn parse_ignores_foreign_lines_and_rejects_bad_ones() {
+        let ok = FaultPlan::from_kv_lines(["geometry=tiny", "fault.seed=4"]).unwrap();
+        assert_eq!(ok.seed, 4);
+        assert!(FaultPlan::from_kv_lines(["fault.unknown=1"]).is_err());
+        assert!(FaultPlan::from_kv_lines(["fault.rct_read_flip=2.0"]).is_err());
+        assert!(FaultPlan::from_kv_lines(["fault.gct_stuck=oops"]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rate_outside_unit_interval_panics() {
+        let _ = FaultPlan::none().with_drop_mitigation(1.5);
+    }
+}

@@ -1,0 +1,202 @@
+//! A fault-injecting [`RctBackend`]: random single-bit flips on counter
+//! reads and writes, modeling corruption of the in-DRAM Row-Count Table.
+
+use crate::plan::FaultPlan;
+use hydra_core::rct::RctBackend;
+use hydra_core::RowCountTable;
+use hydra_types::addr::RowAddr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain-separation constant so the RCT fault stream differs from the
+/// tracker-level fault stream even under the same plan seed.
+const RCT_STREAM: u64 = 0x5254_4354_4142_4c45; // "RCTTABLE"
+
+/// Wraps an [`RctBackend`] and flips one random bit of the transferred
+/// counter value with the plan's `rct_read_flip` / `rct_write_flip`
+/// probabilities.
+///
+/// Layout queries delegate untouched (the address map is wired, only data
+/// can rot), and [`init_group`](RctBackend::init_group) is deliberately
+/// exempt: the spill writes whole 64-byte lines of the constant `T_G`, and
+/// the per-counter flip models disturbance of individual counter transfers.
+/// With both rates zero the wrapper is bit-identical to the inner backend
+/// and never draws from its RNG.
+#[derive(Debug, Clone)]
+pub struct FaultyRct<B: RctBackend = RowCountTable> {
+    inner: B,
+    rng: SmallRng,
+    read_flip: f64,
+    write_flip: f64,
+    read_flips: u64,
+    write_flips: u64,
+}
+
+impl<B: RctBackend> FaultyRct<B> {
+    /// Wraps `inner`, drawing fault decisions from the plan's seed.
+    pub fn new(inner: B, plan: &FaultPlan) -> Self {
+        FaultyRct {
+            inner,
+            rng: SmallRng::seed_from_u64(plan.seed ^ RCT_STREAM),
+            read_flip: plan.rct_read_flip,
+            write_flip: plan.rct_write_flip,
+            read_flips: 0,
+            write_flips: 0,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Bit flips injected on reads so far.
+    pub fn read_flips(&self) -> u64 {
+        self.read_flips
+    }
+
+    /// Bit flips injected on writes so far.
+    pub fn write_flips(&self) -> u64 {
+        self.write_flips
+    }
+
+    /// Flips one random bit of a one-byte counter value.
+    fn flip_bit(rng: &mut SmallRng, value: u32) -> u32 {
+        value ^ (1 << rng.gen_range(0..8u32))
+    }
+}
+
+impl<B: RctBackend> RctBackend for FaultyRct<B> {
+    fn entry_count(&self) -> u64 {
+        self.inner.entry_count()
+    }
+
+    fn reserved_row_count(&self) -> u32 {
+        self.inner.reserved_row_count()
+    }
+
+    fn is_reserved(&self, row: RowAddr) -> bool {
+        self.inner.is_reserved(row)
+    }
+
+    fn reserved_index(&self, row: RowAddr) -> usize {
+        self.inner.reserved_index(row)
+    }
+
+    fn dram_row_of_slot(&self, slot: u64) -> RowAddr {
+        self.inner.dram_row_of_slot(slot)
+    }
+
+    fn read(&mut self, slot: u64) -> u32 {
+        let value = self.inner.read(slot);
+        if self.read_flip > 0.0 && self.rng.gen_bool(self.read_flip) {
+            self.read_flips += 1;
+            return Self::flip_bit(&mut self.rng, value);
+        }
+        value
+    }
+
+    fn write(&mut self, slot: u64, count: u32) {
+        let count = if self.write_flip > 0.0 && self.rng.gen_bool(self.write_flip) {
+            self.write_flips += 1;
+            Self::flip_bit(&mut self.rng, count)
+        } else {
+            count
+        };
+        self.inner.write(slot, count);
+    }
+
+    fn peek(&self, slot: u64) -> u32 {
+        self.inner.peek(slot)
+    }
+
+    fn init_group(&mut self, group_start: u64, group_rows: u64, t_g: u32) -> Vec<RowAddr> {
+        self.inner.init_group(group_start, group_rows, t_g)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_types::MemGeometry;
+
+    fn table() -> RowCountTable {
+        RowCountTable::new(MemGeometry::tiny(), 0)
+    }
+
+    #[test]
+    fn zero_rates_are_transparent_and_draw_no_rng() {
+        let mut faulty = FaultyRct::new(table(), &FaultPlan::none());
+        let mut stock = table();
+        for slot in 0..512u64 {
+            let v = (slot % 200) as u32;
+            faulty.write(slot, v);
+            stock.write(slot, v);
+        }
+        for slot in 0..512u64 {
+            assert_eq!(faulty.read(slot), stock.read(slot));
+        }
+        assert_eq!(faulty.read_flips(), 0);
+        assert_eq!(faulty.write_flips(), 0);
+        // The RNG was never advanced: two zero-plan wrappers stay in lock
+        // step with each other and with the bare table.
+        assert_eq!(faulty.inner().peek(3), stock.peek(3));
+    }
+
+    #[test]
+    fn read_flips_change_exactly_one_bit() {
+        let plan = FaultPlan::none().with_seed(11).with_rct_read_flip(1.0);
+        let mut faulty = FaultyRct::new(table(), &plan);
+        faulty.write(9, 0b1010_0101);
+        for _ in 0..50 {
+            let read = faulty.read(9);
+            assert_eq!((read ^ 0b1010_0101).count_ones(), 1);
+            assert!(read < 256);
+        }
+        assert_eq!(faulty.read_flips(), 50);
+        // The stored value itself was never altered by read faults.
+        assert_eq!(faulty.peek(9), 0b1010_0101);
+    }
+
+    #[test]
+    fn write_flips_corrupt_the_stored_value() {
+        let plan = FaultPlan::none().with_seed(11).with_rct_write_flip(1.0);
+        let mut faulty = FaultyRct::new(table(), &plan);
+        faulty.write(4, 0);
+        let stored = faulty.peek(4);
+        assert_eq!(stored.count_ones(), 1, "exactly one bit flipped");
+        assert!(stored < 256);
+        assert_eq!(faulty.write_flips(), 1);
+    }
+
+    #[test]
+    fn same_seed_injects_identical_fault_sequences() {
+        let plan = FaultPlan::none().with_seed(77).with_rct_read_flip(0.3);
+        let mut a = FaultyRct::new(table(), &plan);
+        let mut b = FaultyRct::new(table(), &plan);
+        for slot in 0..256u64 {
+            a.write(slot, 123);
+            b.write(slot, 123);
+        }
+        for slot in 0..256u64 {
+            assert_eq!(a.read(slot), b.read(slot), "slot {slot}");
+        }
+        assert_eq!(a.read_flips(), b.read_flips());
+    }
+
+    #[test]
+    fn layout_queries_delegate() {
+        let plan = FaultPlan::uniform(1.0, 1);
+        let faulty = FaultyRct::new(table(), &plan);
+        let stock = table();
+        assert_eq!(faulty.entry_count(), stock.entry_count());
+        assert_eq!(faulty.reserved_row_count(), stock.reserved_row_count());
+        for slot in [0u64, 100, 4095] {
+            assert_eq!(faulty.dram_row_of_slot(slot), stock.dram_row_of_slot(slot));
+        }
+    }
+}

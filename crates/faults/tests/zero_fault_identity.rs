@@ -1,0 +1,112 @@
+//! The zero-fault identity: under [`FaultPlan::none`] every fault wrapper
+//! is bit-identical to what it wraps, over arbitrary activation streams.
+//!
+//! This is the contract that lets the fault machinery live permanently in
+//! the audit composition path: a disabled plan cannot distort results.
+
+use hydra_core::{Hydra, HydraConfig};
+use hydra_faults::{faulty_hydra, FaultLog, FaultPlan, FaultyTracker};
+use hydra_types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
+use proptest::prelude::*;
+
+const T_H: u32 = 16;
+const T_G: u32 = 12;
+
+fn config() -> HydraConfig {
+    HydraConfig::builder(MemGeometry::tiny(), 0)
+        .thresholds(T_H, T_G)
+        .gct_entries(64)
+        .rcc_entries(16)
+        .rcc_ways(4)
+        .build()
+        .expect("valid test config")
+}
+
+/// Streams biased toward hammering (hot rows + group mates + reserved RCT
+/// rows) — the traffic that exercises every seam: spills, RCC fills and
+/// evictions, RCT reads/write-backs, RIT-ACT, and mitigations.
+fn activation_sequence() -> impl Strategy<Value = Vec<RowAddr>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0u32..8).prop_map(|r| RowAddr::new(0, 0, 0, r)),
+            2 => (0u32..128).prop_map(|r| RowAddr::new(0, 0, 0, r)),
+            1 => (0u8..4, 0u32..1024).prop_map(|(b, r)| RowAddr::new(0, 0, b, r)),
+            1 => (0u8..4).prop_map(|b| RowAddr::new(0, 0, b, 1023)),
+        ],
+        0..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `FaultyTracker<Hydra<FaultyRct>>` under a zero plan produces, for
+    /// every activation and window reset, exactly the response and stats of
+    /// a stock Hydra.
+    #[test]
+    fn zero_plan_is_bit_identical(
+        sequence in activation_sequence(),
+        reset_every in 0usize..200,
+        seed in 0u64..1000,
+    ) {
+        // The seed must be irrelevant when every rate is zero: the RNG is
+        // never consulted.
+        let plan = FaultPlan::none().with_seed(seed);
+        let mut faulty = faulty_hydra(config(), &plan).expect("valid config");
+        let mut stock = Hydra::new(config()).expect("valid config");
+        for (i, &row) in sequence.iter().enumerate() {
+            if reset_every > 0 && i > 0 && i % reset_every == 0 {
+                faulty.reset_window(i as u64);
+                stock.reset_window(i as u64);
+            }
+            let a = faulty.on_activation(row, i as u64, ActivationKind::Demand);
+            let b = stock.on_activation(row, i as u64, ActivationKind::Demand);
+            prop_assert_eq!(&a, &b, "divergence at step {}", i);
+        }
+        prop_assert_eq!(faulty.inner().stats(), stock.stats());
+        prop_assert_eq!(faulty.log(), FaultLog::default());
+        prop_assert_eq!(faulty.inner().rct().read_flips(), 0);
+        prop_assert_eq!(faulty.inner().rct().write_flips(), 0);
+    }
+
+    /// The generic wrapper (no structural hook) is transparent around any
+    /// tracker under a zero plan — here, stock Hydra itself.
+    #[test]
+    fn zero_plan_generic_wrapper_is_transparent(
+        sequence in activation_sequence(),
+        seed in 0u64..1000,
+    ) {
+        let plan = FaultPlan::none().with_seed(seed);
+        let mut wrapped = FaultyTracker::new(
+            Hydra::new(config()).expect("valid config"),
+            plan,
+        );
+        let mut stock = Hydra::new(config()).expect("valid config");
+        for (i, &row) in sequence.iter().enumerate() {
+            let a = wrapped.on_activation(row, i as u64, ActivationKind::Demand);
+            let b = stock.on_activation(row, i as u64, ActivationKind::Demand);
+            prop_assert_eq!(&a, &b, "divergence at step {}", i);
+        }
+        prop_assert_eq!(wrapped.inner().stats(), stock.stats());
+        prop_assert_eq!(wrapped.pending_delayed(), 0);
+    }
+
+    /// Same plan + same stream => identical injected-fault sequence and
+    /// identical outputs (the determinism that makes replays byte-for-byte).
+    #[test]
+    fn same_seed_same_stream_is_deterministic(
+        sequence in activation_sequence(),
+        seed in 0u64..1000,
+    ) {
+        let plan = FaultPlan::uniform(0.05, seed);
+        let mut one = faulty_hydra(config(), &plan).expect("valid config");
+        let mut two = faulty_hydra(config(), &plan).expect("valid config");
+        for (i, &row) in sequence.iter().enumerate() {
+            let a = one.on_activation(row, i as u64, ActivationKind::Demand);
+            let b = two.on_activation(row, i as u64, ActivationKind::Demand);
+            prop_assert_eq!(&a, &b, "divergence at step {}", i);
+        }
+        prop_assert_eq!(one.log(), two.log());
+        prop_assert_eq!(one.inner().stats(), two.inner().stats());
+    }
+}

@@ -11,6 +11,11 @@
 //! against a tracker with a bandwidth cost model; the security experiments
 //! and quick parameter sweeps use it.
 //!
+//! The [`batch`] module wraps either simulator in a resilient batch
+//! harness: per-run panic isolation, a wall-clock watchdog, bounded retry
+//! with exponential backoff, and replay-artifact emission on terminal
+//! failure.
+//!
 //! # Example
 //!
 //! ```
@@ -28,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod config;
 pub mod controller;
@@ -39,6 +45,7 @@ pub mod rowswap;
 pub mod stats;
 pub mod system;
 
+pub use batch::{BatchConfig, BatchJob, BatchReport, BatchRunner, JobReport, JobStatus};
 pub use cache::CoreCaches;
 pub use config::SystemConfig;
 pub use controller::{CompletedRead, MemController, RequestKind};

@@ -7,15 +7,23 @@
 //! hydra record mcf N out.trace [S]      # record a trace file
 //! hydra hammer ROW [ACTS]               # hammer one row, print mitigations
 //! hydra list                            # list the 36 workloads
+//! hydra batch [flags]                   # resilient fault-campaign batch run
+//! hydra replay FILE                     # reproduce a failed run from its artifact
 //! ```
 
+use hydra_repro::analysis::faults::{run_case, FaultCaseReport, FaultCaseSpec};
 use hydra_repro::baselines::storage::{Scheme, DDR4_BANKS_PER_RANK};
+use hydra_repro::core::degrade::DegradationPolicy;
 use hydra_repro::core::{Hydra, HydraConfig, HydraStorage};
+use hydra_repro::faults::FaultPlan;
+use hydra_repro::sim::batch::{BatchConfig, BatchJob, BatchRunner, JobStatus};
 use hydra_repro::sim::ActivationSim;
 use hydra_repro::types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
 use hydra_repro::workloads::{registry, AttackPattern, TraceSource, TraceWriter};
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,8 +34,12 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("hammer") => cmd_hammer(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         _ => {
-            eprintln!("usage: hydra <storage|list|characterize|audit|record|hammer> [args]");
+            eprintln!(
+                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay> [args]"
+            );
             eprintln!("  storage                      print the paper's storage tables");
             eprintln!("  list                         list the 36 registered workloads");
             eprintln!("  characterize <workload> [S]  Table-3 stats from the generator");
@@ -37,6 +49,10 @@ fn main() -> ExitCode {
             );
             eprintln!("  record <workload> <n> <file> [S]  record a trace file");
             eprintln!("  hammer <row> [acts]          hammer one row through Hydra");
+            eprintln!("  batch [--out DIR] [--t-rh N] [--acts N] [--seed S]");
+            eprintln!("        [--watchdog-ms MS] [--retries N] [--force-failure]");
+            eprintln!("                               fault campaign under the batch harness");
+            eprintln!("  replay <file>                reproduce a run from its replay artifact");
             return ExitCode::from(2);
         }
     };
@@ -258,4 +274,160 @@ fn cmd_hammer(args: &[String]) -> Result<(), String> {
         stats.rct_access_fraction() * 100.0
     );
     Ok(())
+}
+
+/// One fault-campaign run as a batch job: a run is "failed" when the
+/// shadow oracle records any violation, so terminal failures carry their
+/// replay artifact out of the harness.
+struct FaultCaseJob(FaultCaseSpec);
+
+impl BatchJob for FaultCaseJob {
+    type Output = FaultCaseReport;
+
+    fn label(&self) -> String {
+        self.0.label.clone()
+    }
+
+    fn run(&self, _attempt: u32) -> Result<FaultCaseReport, String> {
+        let report = run_case(&self.0).map_err(|e| e.to_string())?;
+        if report.is_clean() {
+            Ok(report)
+        } else {
+            Err(format!(
+                "{} oracle violation(s), worst unmitigated {}",
+                report.oracle.violations_total, report.oracle.worst_unmitigated
+            ))
+        }
+    }
+
+    fn replay_artifact(&self) -> Option<String> {
+        Some(self.0.to_artifact())
+    }
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let mut out: PathBuf = PathBuf::from("replay-artifacts");
+    let mut t_rh: u32 = 200;
+    let mut acts: u64 = 30_000;
+    let mut seed: u64 = 0xace5;
+    let mut watchdog_ms: u64 = 60_000;
+    let mut retries: u32 = 1;
+    let mut force_failure = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--t-rh" => t_rh = value("--t-rh")?.parse().map_err(|_| "bad --t-rh")?,
+            "--acts" => acts = value("--acts")?.parse().map_err(|_| "bad --acts")?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--watchdog-ms" => {
+                watchdog_ms = value("--watchdog-ms")?
+                    .parse()
+                    .map_err(|_| "bad --watchdog-ms")?;
+            }
+            "--retries" => retries = value("--retries")?.parse().map_err(|_| "bad --retries")?,
+            "--force-failure" => force_failure = true,
+            other => return Err(format!("unknown batch flag {other}")),
+        }
+        i += 1;
+    }
+
+    // The campaign: survivable fault rates across the degradation
+    // policies. Every job here is expected to pass (retries cover nothing
+    // deterministic, but keep the harness honest about its budget).
+    let mut jobs = Vec::new();
+    for (j, &rate) in [0.0f64, 1e-3].iter().enumerate() {
+        for policy in [DegradationPolicy::Off, DegradationPolicy::ImmediateRefresh] {
+            let mut spec = FaultCaseSpec::new("tiny", t_rh, acts, policy);
+            spec.label = format!("tiny/rate{rate}/{policy}");
+            spec.stream_seed = seed;
+            spec.plan = FaultPlan::uniform(rate, seed ^ (j as u64 + 1));
+            jobs.push(FaultCaseJob(spec));
+        }
+    }
+    if force_failure {
+        // Drop every mitigation with degradation off: the oracle must
+        // catch the violation and the harness must emit the artifact.
+        let mut spec = FaultCaseSpec::new("tiny", t_rh, acts, DegradationPolicy::Off);
+        spec.label = format!("tiny/forced-failure/t_rh{t_rh}");
+        spec.stream_seed = seed;
+        spec.plan = FaultPlan::none().with_seed(seed).with_drop_mitigation(1.0);
+        jobs.push(FaultCaseJob(spec));
+    }
+
+    let runner = BatchRunner::new(BatchConfig {
+        retries,
+        backoff_base: Duration::from_millis(50),
+        watchdog: Duration::from_millis(watchdog_ms),
+        artifact_dir: Some(out.clone()),
+    });
+    let expected_failures = usize::from(force_failure);
+    let total = jobs.len();
+    println!("batch: {total} job(s), artifacts to {}", out.display());
+    let report = runner.run(jobs);
+
+    for job in &report.jobs {
+        let (disposition, detail) = match &job.status {
+            JobStatus::Succeeded { attempts } => ("ok", format!("{attempts} attempt(s)")),
+            JobStatus::Failed {
+                attempts,
+                last_error,
+            } => ("FAILED", format!("{attempts} attempt(s): {last_error}")),
+            JobStatus::TimedOut { attempts } => ("TIMEOUT", format!("{attempts} attempt(s)")),
+        };
+        println!("  {:<40} {:<8} {}", job.label, disposition, detail);
+        if let Some(path) = &job.artifact_path {
+            println!("  {:<40} replay → {}", "", path.display());
+        }
+    }
+    println!(
+        "batch: {} succeeded, {} failed",
+        report.succeeded(),
+        report.failed()
+    );
+    if report.failed() == expected_failures {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} job(s) failed, expected {expected_failures}",
+            report.failed()
+        ))
+    }
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("replay needs an artifact file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = FaultCaseSpec::parse_artifact(&text)?;
+    println!("replaying {} from {path}", spec.label);
+    println!(
+        "  geometry={} t_rh={} acts={} window_acts={} stream_seed={} policy={}",
+        spec.geometry, spec.t_rh, spec.acts, spec.window_acts, spec.stream_seed, spec.policy
+    );
+    let report = run_case(&spec).map_err(|e| e.to_string())?;
+    println!("  activations       : {}", report.oracle.activations);
+    println!("  mitigations       : {}", report.oracle.mitigations);
+    println!("  injected faults   : {}", report.injected_faults());
+    println!(
+        "  dropped/delayed   : {}/{}",
+        report.fault_log.dropped_mitigations, report.fault_log.delayed_mitigations
+    );
+    println!("  health            : {}", report.health);
+    println!("  worst unmitigated : {}", report.oracle.worst_unmitigated);
+    println!("  violations        : {}", report.oracle.violations_total);
+    if report.is_clean() {
+        println!("  verdict           : CLEAN");
+        Ok(())
+    } else {
+        println!("  verdict           : VIOLATION REPRODUCED");
+        Err("replayed run violates the tracking guarantee (as recorded)".into())
+    }
 }

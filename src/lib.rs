@@ -8,7 +8,8 @@
 //! * [`core`] — the Hydra hybrid tracker (the paper's contribution)
 //! * [`baselines`] — Graphene, CRA, PARA, OCPR, D-CBF, storage models
 //! * [`dram`] — DDR4 device timing, refresh and power models
-//! * [`sim`] — memory controller, LLC, core model, system simulator
+//! * [`faults`] — deterministic fault injection around the tracker
+//! * [`sim`] — memory controller, LLC, core model, system simulator, batch harness
 //! * [`workloads`] — synthetic workload and attack-pattern generators
 
 #![forbid(unsafe_code)]
@@ -17,6 +18,7 @@ pub use hydra_analysis as analysis;
 pub use hydra_baselines as baselines;
 pub use hydra_core as core;
 pub use hydra_dram as dram;
+pub use hydra_faults as faults;
 pub use hydra_sim as sim;
 pub use hydra_types as types;
 pub use hydra_workloads as workloads;

@@ -136,3 +136,80 @@ fn responses_to_single_activation_are_bounded() {
         }
     }
 }
+
+/// Records the exact interleaving of activations and window resets it sees.
+#[derive(Default)]
+struct WindowProbe {
+    /// `(is_reset, now)` in arrival order.
+    events: Vec<(bool, u64)>,
+}
+
+impl ActivationTracker for WindowProbe {
+    fn on_activation(&mut self, _row: RowAddr, now: u64, _kind: ActivationKind) -> TrackerResponse {
+        self.events.push((false, now));
+        TrackerResponse::none()
+    }
+
+    fn reset_window(&mut self, now: u64) {
+        self.events.push((true, now));
+    }
+
+    fn name(&self) -> &str {
+        "window-probe"
+    }
+
+    fn sram_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn window_boundary_activation_counts_in_exactly_one_window() {
+    // Regression guard for the window-boundary off-by-one: an activation
+    // landing exactly on the reset boundary (`now == next_reset`) must be
+    // observed exactly once, and in the *new* window — the driver resets
+    // first, then reports the activation. Counting it in the old window (or
+    // twice) would let the per-window undercount exceed the 2·(T_H − 1)
+    // split bound.
+    use hydra_repro::dram::DramTiming;
+    use hydra_repro::sim::ActivationSim;
+
+    let mut timing = DramTiming::ddr4_3200();
+    timing.refresh_window = 1000;
+    let mut sim = ActivationSim::new(MemGeometry::tiny(), WindowProbe::default())
+        .with_timing(timing)
+        .with_cycles_per_activation(1);
+    let row = RowAddr::new(0, 0, 0, 1);
+    for _ in 0..2500 {
+        sim.activate(row);
+    }
+    assert_eq!(sim.report().window_resets, 2);
+
+    let events = sim.into_tracker().events;
+    let acts: Vec<u64> = events.iter().filter(|e| !e.0).map(|e| e.1).collect();
+    let resets: Vec<u64> = events.iter().filter(|e| e.0).map(|e| e.1).collect();
+    assert_eq!(acts.len(), 2500, "every activation observed exactly once");
+    assert_eq!(resets, vec![1000, 2000], "resets land on the boundaries");
+
+    // Activation i happens at now == i, so acts 1..=999 precede the first
+    // reset and the act at now == 1000 must come after it.
+    let first_reset = events.iter().position(|e| e.0).expect("a reset happened");
+    assert_eq!(first_reset, 999, "boundary act belongs to the new window");
+    let second_reset = events.iter().rposition(|e| e.0).expect("two resets");
+    assert_eq!(
+        second_reset - first_reset - 1,
+        1000,
+        "a full window carries exactly refresh_window activations"
+    );
+
+    // Within each window, every observed timestamp lies in
+    // [reset_now, reset_now + window): nothing leaks across a boundary.
+    for (reset_now, window) in [(1000u64, 1000u64), (2000, 1000)] {
+        let in_window = acts
+            .iter()
+            .filter(|&&t| t >= reset_now && t < reset_now + window)
+            .count();
+        let expected = if reset_now == 2000 { 501 } else { 1000 };
+        assert_eq!(in_window, expected, "window starting at {reset_now}");
+    }
+}
