@@ -23,11 +23,25 @@
 //! table — uniform fault rate × degradation policy → worst-case excess
 //! activations under the shadow oracle. Exit code 0 iff every zero-rate
 //! row is violation-free (the fault machinery must be inert when disabled).
+//!
+//! With `--windows` it runs a hammer-plus-noise stream and prints the
+//! per-window `HydraStats` summary (add `--json` for the raw JSONL
+//! time-series):
+//!
+//! ```text
+//! cargo run -p hydra-analysis --bin hydra-audit -- --windows
+//!     [--geometry tiny|isca22|ddr5] [--t-rh N] [--acts N] [--json]
+//! ```
+//!
+//! Exit code 0 iff the window deltas sum exactly to the cumulative
+//! counters on every geometry.
 
 use hydra_analysis::audit::{audit_hydra, AuditReport};
 use hydra_analysis::faults::{degradation_table, render_table};
-use hydra_core::HydraConfig;
-use hydra_types::MemGeometry;
+use hydra_core::{Hydra, HydraConfig};
+use hydra_dram::DramTiming;
+use hydra_sim::{run_windowed, ActivationSim, WindowSeries};
+use hydra_types::{MemGeometry, RowAddr};
 use std::process::ExitCode;
 
 struct Case {
@@ -48,6 +62,7 @@ fn geometry_by_name(name: &str) -> Option<MemGeometry> {
 fn main() -> ExitCode {
     let mut json = false;
     let mut faults = false;
+    let mut windows = false;
     let mut t_rh: u32 = 500;
     let mut acts: u64 = 40_000;
     let mut geometries: Vec<&'static str> = vec!["tiny", "isca22", "ddr5"];
@@ -59,6 +74,7 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--json" => json = true,
             "--faults" => faults = true,
+            "--windows" => windows = true,
             "--t-rh" => {
                 i += 1;
                 t_rh = match args.get(i).and_then(|v| v.parse().ok()) {
@@ -93,6 +109,15 @@ fn main() -> ExitCode {
         i += 1;
     }
 
+    if windows {
+        if faults {
+            return usage("--faults and --windows are mutually exclusive");
+        }
+        if !geometry_overridden {
+            geometries = vec!["tiny", "isca22"];
+        }
+        return windows_mode(&geometries, t_rh, acts, json);
+    }
     if faults {
         if json {
             return usage("--json is not supported with --faults");
@@ -249,13 +274,94 @@ fn faults_mode(geometries: &[&str], t_rh: u32, acts: u64) -> ExitCode {
     }
 }
 
+/// Runs a hammer-plus-noise stream per geometry and prints the per-window
+/// `HydraStats` summary (or the raw JSONL time-series with `--json`).
+/// Fails iff the per-window deltas do not sum exactly to the cumulative
+/// counters — the invariant that makes the series trustworthy.
+fn windows_mode(geometries: &[&str], t_rh: u32, acts: u64, json: bool) -> ExitCode {
+    let mut broken = 0usize;
+    for name in geometries {
+        let geom = match geometry_by_name(name) {
+            Some(g) => g,
+            None => return usage("internal geometry error"),
+        };
+        let tracker = match HydraConfig::for_threshold(geom, 0, t_rh).and_then(Hydra::new) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("hydra-audit: cannot build {name} tracker: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Shrunken refresh window: a short run still crosses many
+        // boundaries. Even activations hammer a double-sided pair, odd
+        // ones scatter — both the hot and cold paths show up per window.
+        let timing = DramTiming::ddr4_3200().with_scaled_window(1_000);
+        let mut sim = ActivationSim::new(geom, tracker).with_timing(timing);
+        let mid = geom.rows_per_bank() / 2;
+        let span = u64::from(geom.rows_per_bank());
+        let rows = (0..acts).map(|i| {
+            if i % 2 == 0 {
+                RowAddr::new(0, 0, 0, mid - 1 + 2 * ((i / 2) % 2) as u32)
+            } else {
+                RowAddr::new(0, 0, 1, ((i * 17) % span) as u32)
+            }
+        });
+        let mut series = WindowSeries::new();
+        run_windowed(&mut sim, rows, &mut series);
+        let ok = series.total() == sim.tracker().stats();
+
+        if json {
+            println!("{}", series.to_jsonl());
+        } else {
+            println!("=== {name} (T_RH {t_rh}, {acts} demand ACTs)");
+            println!(
+                "{:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                "window",
+                "end_cycle",
+                "activations",
+                "gct_only",
+                "rcc_hits",
+                "rct_acc",
+                "mitigations"
+            );
+            for r in series.records() {
+                println!(
+                    "{:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                    r.window,
+                    r.end_cycle,
+                    r.delta.activations,
+                    r.delta.gct_only,
+                    r.delta.rcc_hits,
+                    r.delta.rct_accesses,
+                    r.delta.mitigations
+                );
+            }
+            println!(
+                "{name}: {} window(s), delta-sum {}\n",
+                series.len(),
+                if ok { "ok" } else { "VIOLATED" }
+            );
+        }
+        if !ok {
+            broken += 1;
+            eprintln!("hydra-audit: {name} window deltas do not sum to cumulative stats");
+        }
+    }
+    if broken == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("hydra-audit: {error}");
     }
     eprintln!(
         "usage: hydra-audit [--geometry tiny|isca22|ddr5] [--t-rh N] [--json]\n       \
-         hydra-audit --faults [--geometry tiny|isca22|ddr5] [--t-rh N] [--acts N]"
+         hydra-audit --faults [--geometry tiny|isca22|ddr5] [--t-rh N] [--acts N]\n       \
+         hydra-audit --windows [--geometry tiny|isca22|ddr5] [--t-rh N] [--acts N] [--json]"
     );
     if error.is_empty() {
         ExitCode::SUCCESS

@@ -19,6 +19,12 @@
 //!   harness (`crates/sim/src/batch.rs`). Everywhere else a panic is a bug
 //!   that must surface; swallowing one mid-simulation would let a corrupted
 //!   run masquerade as a result.
+//! * **`no-println`** — non-test library code must not call `println!` or
+//!   `eprintln!`: a library that writes to stdout/stderr corrupts
+//!   machine-readable output (JSONL traces, BENCH_*.json, CSV exports) and
+//!   takes the routing decision away from the caller. Return strings,
+//!   accept callbacks, or use the telemetry sinks instead. Binaries,
+//!   examples, benches and test modules are exempt.
 //!
 //! The scanner is line-based: string literals are blanked and `//` comments
 //! stripped before matching, and `#[cfg(test)]` modules are tracked by brace
@@ -39,7 +45,7 @@ pub struct LintDiagnostic {
     /// 1-based line number (0 = whole file).
     pub line: usize,
     /// Rule identifier (`forbid-unsafe`, `no-unwrap`, `doc-consistency`,
-    /// `catch-unwind-layer`).
+    /// `catch-unwind-layer`, `no-println`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -189,6 +195,19 @@ fn lint_library_source(file: &Path, text: &str, diagnostics: &mut Vec<LintDiagno
                 line: lineno,
                 rule: "no-unwrap",
                 message: "unwrap()/expect() in non-test library code; propagate the error or use a non-panicking alternative"
+                    .to_string(),
+            });
+        }
+
+        // Rule: no-println (non-test library code only). Bins, examples and
+        // benches never reach this function, so only `crates/*/src` and the
+        // facade's src are held to it.
+        if !in_test && (code.contains("println!(") || code.contains("eprintln!(")) {
+            diagnostics.push(LintDiagnostic {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "no-println",
+                message: "println!/eprintln! in non-test library code; return the string, take a callback, or emit through a telemetry sink and let the caller decide where output goes"
                     .to_string(),
             });
         }
@@ -527,6 +546,27 @@ mod tests {
         );
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "catch-unwind-layer");
+    }
+
+    #[test]
+    fn flags_println_and_eprintln_in_library_code() {
+        let diags = lint_one(
+            "println",
+            "pub fn f() {\n    println!(\"progress\");\n    eprintln!(\"oops\");\n}\n",
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "no-println"));
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[1].line, 4);
+    }
+
+    #[test]
+    fn ignores_println_in_test_modules_comments_and_writeln() {
+        let diags = lint_one(
+            "printlnok",
+            "use std::fmt::Write as _;\npub fn f(out: &mut String) {\n    // println!(\"this is a comment\")\n    let _ = writeln!(out, \"fine\");\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        println!(\"test output is fine\");\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

@@ -72,7 +72,11 @@ fn main() {
             .collect(),
     );
     table.print();
-    table.export_csv("fig10");
+    match table.export_csv("fig10") {
+        Ok(Some(path)) => println!("(csv written to {})", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
 
     println!("\nPaper: GUPS suffers at T_G = 50 % (16 %); the default 80 % balances both ends.");
     println!(

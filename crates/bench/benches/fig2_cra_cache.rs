@@ -36,7 +36,11 @@ fn main() {
         format!("{:.3}", geometric_mean(&means[2])),
     ]);
     table.print();
-    table.export_csv("fig2");
+    match table.export_csv("fig2") {
+        Ok(Some(path)) => println!("(csv written to {})", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
 
     let g64 = geometric_mean(&means[0]);
     let g256 = geometric_mean(&means[2]);

@@ -67,7 +67,11 @@ fn main() {
         format!("{:.3}", geometric_mean(&all[2])),
     ]);
     table.print();
-    table.export_csv("fig5");
+    match table.export_csv("fig5") {
+        Ok(Some(path)) => println!("(csv written to {})", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
 
     let cra = geometric_mean(&all[0]);
     let graphene = geometric_mean(&all[1]);

@@ -79,7 +79,11 @@ fn main() {
         format!("{:.2}", sums[2] / n),
     ]);
     table.print();
-    table.export_csv("fig6");
+    match table.export_csv("fig6") {
+        Ok(Some(path)) => println!("(csv written to {})", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
     println!("\nPaper means: GCT-only 90.7 %, RCC-hit 9.0 %, RCT-access 0.3 %.");
     println!(
         "Shape check: GCT filters most updates ({:.1} % >= 60 %), DRAM accesses rare ({:.2} % <= 10 %): {}",

@@ -63,7 +63,11 @@ fn main() {
     }
     table.row(cells);
     table.print();
-    table.export_csv("fig7");
+    match table.export_csv("fig7") {
+        Ok(Some(path)) => println!("(csv written to {})", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
 
     println!("\nPaper: 0.7 % at 500, 1.6 % at 250, 4 % at 125.");
     println!(

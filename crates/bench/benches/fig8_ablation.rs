@@ -59,7 +59,11 @@ fn main() {
         format!("{:.3}", geometric_mean(&norms[2])),
     ]);
     table.print();
-    table.export_csv("fig8");
+    match table.export_csv("fig8") {
+        Ok(Some(path)) => println!("(csv written to {})", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
 
     let no_gct = geometric_mean(&norms[0]);
     let no_rcc = geometric_mean(&norms[1]);

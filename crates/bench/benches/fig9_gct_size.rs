@@ -67,7 +67,11 @@ fn main() {
         format!("{:.2}%", overall[2]),
     ]);
     table.print();
-    table.export_csv("fig9");
+    match table.export_csv("fig9") {
+        Ok(Some(path)) => println!("(csv written to {})", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
 
     println!("\nPaper: 16K hurts (GUPS 18.3 %); 32K is the sweet spot; 64K is marginal.");
     println!(

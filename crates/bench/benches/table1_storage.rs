@@ -55,7 +55,11 @@ fn main() {
         }
     }
     table.print();
-    table.export_csv("table1");
+    match table.export_csv("table1") {
+        Ok(Some(path)) => println!("(csv written to {})", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
     println!("\nAll prior schemes exceed the 64 KB goal at T_RH <= 1000;");
     println!("Hydra's total is 56.5 KB for the whole 32 GB system (Table 4).");
 }

@@ -62,6 +62,10 @@ fn main() {
         ]);
     }
     table.print();
-    table.export_csv("table3");
+    match table.export_csv("table3") {
+        Ok(Some(path)) => println!("(csv written to {})", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
     println!("\nTargets are the paper's Table 3 values divided by the time-compression S.");
 }

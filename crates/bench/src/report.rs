@@ -112,21 +112,22 @@ impl Table {
     }
 
     /// If the `HYDRA_CSV_DIR` environment variable is set, writes this
-    /// table there as `<name>.csv` (creating the directory), and reports
-    /// the path on stdout. No-op otherwise.
-    pub fn export_csv(&self, name: &str) {
-        if let Ok(dir) = std::env::var("HYDRA_CSV_DIR") {
-            let dir = std::path::PathBuf::from(dir);
-            if let Err(e) = std::fs::create_dir_all(&dir) {
-                eprintln!("could not create {}: {e}", dir.display());
-                return;
-            }
-            let path = dir.join(format!("{name}.csv"));
-            match self.write_csv(&path) {
-                Ok(()) => println!("(csv written to {})", path.display()),
-                Err(e) => eprintln!("could not write {}: {e}", path.display()),
-            }
-        }
+    /// table there as `<name>.csv` (creating the directory) and returns the
+    /// written path. Returns `Ok(None)` when the variable is unset. The
+    /// caller decides how to report the path — the library never prints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write errors.
+    pub fn export_csv(&self, name: &str) -> std::io::Result<Option<std::path::PathBuf>> {
+        let Ok(dir) = std::env::var("HYDRA_CSV_DIR") else {
+            return Ok(None);
+        };
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        self.write_csv(&path)?;
+        Ok(Some(path))
     }
 }
 

@@ -4,6 +4,36 @@
 //! RCT-access breakdown) and the mitigation/spill diagnostics used by the
 //! other experiments.
 
+use std::fmt;
+
+/// Applies a macro to every counter field of [`HydraStats`], in declaration
+/// order. Single source of truth keeping [`HydraStats::FIELD_NAMES`],
+/// [`HydraStats::fields`], [`HydraStats::delta_since`],
+/// [`HydraStats::accumulate`] and the `Display` impl in sync with the
+/// struct — adding a counter without updating this list is a compile error
+/// (the struct literal in `fields` would be missing a field).
+macro_rules! for_each_stat {
+    ($m:ident) => {
+        $m!(
+            activations,
+            gct_only,
+            rcc_hits,
+            rct_accesses,
+            group_spills,
+            mitigations,
+            rit_mitigations,
+            reserved_activations,
+            side_reads,
+            side_writes,
+            window_resets,
+            parity_errors,
+            degraded_reinits,
+            degraded_refreshes,
+            degraded_probabilistic
+        );
+    };
+}
+
 /// Cumulative Hydra event counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HydraStats {
@@ -41,7 +71,45 @@ pub struct HydraStats {
     pub degraded_probabilistic: u64,
 }
 
+macro_rules! stat_field_methods {
+    ($($f:ident),+ $(,)?) => {
+        /// Names of every counter field, in declaration order.
+        pub const FIELD_NAMES: [&'static str; HydraStats::FIELD_COUNT] =
+            [$(stringify!($f)),+];
+
+        /// `(name, value)` pairs for every counter, in declaration order.
+        ///
+        /// The destructuring pattern makes this exhaustive: a counter added
+        /// to the struct but not to `for_each_stat!` fails to compile.
+        pub fn fields(&self) -> [(&'static str, u64); HydraStats::FIELD_COUNT] {
+            let HydraStats { $($f),+ } = *self;
+            [$((stringify!($f), $f)),+]
+        }
+
+        /// Counter-wise difference `self - earlier`.
+        ///
+        /// With `earlier` a prior snapshot of the same monotonically
+        /// increasing counters this is the per-interval delta; the
+        /// subtraction wraps rather than panicking if the arguments are
+        /// swapped.
+        pub fn delta_since(&self, earlier: &HydraStats) -> HydraStats {
+            HydraStats { $($f: self.$f.wrapping_sub(earlier.$f)),+ }
+        }
+
+        /// Adds every counter of `other` into `self` (aggregation across
+        /// channels or windows).
+        pub fn accumulate(&mut self, other: &HydraStats) {
+            $(self.$f += other.$f;)+
+        }
+    };
+}
+
 impl HydraStats {
+    /// Number of counter fields (length of [`HydraStats::FIELD_NAMES`]).
+    pub const FIELD_COUNT: usize = 15;
+
+    for_each_stat!(stat_field_methods);
+
     /// Fraction of activations handled by the GCT alone (Fig. 6's "GCT-Only",
     /// ≈90.7 % on average in the paper).
     pub fn gct_only_fraction(&self) -> f64 {
@@ -58,6 +126,18 @@ impl HydraStats {
         self.fraction(self.rct_accesses)
     }
 
+    /// Fraction of activations landing on reserved (RCT-storage) rows and
+    /// therefore tracked by RIT-ACT instead of the GCT/RCT path.
+    ///
+    /// Together with the three path fractions this partitions all
+    /// activations:
+    /// `gct_only + rcc_hits + rct_accesses + reserved_activations ==
+    /// activations` (when mitigation-refresh activations are counted, the
+    /// default).
+    pub fn reserved_fraction(&self) -> f64 {
+        self.fraction(self.reserved_activations)
+    }
+
     fn fraction(&self, part: u64) -> f64 {
         if self.activations == 0 {
             0.0
@@ -69,6 +149,28 @@ impl HydraStats {
     /// Total extra DRAM accesses (reads + writes) generated by tracking.
     pub fn side_accesses(&self) -> u64 {
         self.side_reads + self.side_writes
+    }
+}
+
+impl fmt::Display for HydraStats {
+    /// Renders an aligned two-column table of every counter; the four
+    /// activation buckets additionally show their share of all activations.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>14}", "counter", "value")?;
+        writeln!(f, "{:-<24} {:->14}", "", "")?;
+        for (name, value) in self.fields() {
+            write!(f, "{name:<24} {value:>14}")?;
+            let is_bucket = matches!(
+                name,
+                "gct_only" | "rcc_hits" | "rct_accesses" | "reserved_activations"
+            );
+            if is_bucket && self.activations > 0 {
+                let share = value as f64 / self.activations as f64 * 100.0;
+                write!(f, "  {share:5.1}%")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
     }
 }
 
@@ -104,5 +206,89 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.side_accesses(), 7);
+    }
+
+    #[test]
+    fn reserved_fraction_completes_the_partition() {
+        let s = HydraStats {
+            activations: 100,
+            gct_only: 85,
+            rcc_hits: 9,
+            rct_accesses: 1,
+            reserved_activations: 5,
+            ..Default::default()
+        };
+        let sum = s.gct_only_fraction()
+            + s.rcc_hit_fraction()
+            + s.rct_access_fraction()
+            + s.reserved_fraction();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(HydraStats::default().reserved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fields_cover_every_counter_in_order() {
+        let s = HydraStats {
+            activations: 1,
+            degraded_probabilistic: 15,
+            ..Default::default()
+        };
+        let fields = s.fields();
+        assert_eq!(fields.len(), HydraStats::FIELD_COUNT);
+        assert_eq!(fields[0], ("activations", 1));
+        assert_eq!(fields[14], ("degraded_probabilistic", 15));
+        for (i, (name, _)) in fields.iter().enumerate() {
+            assert_eq!(*name, HydraStats::FIELD_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn delta_since_and_accumulate_roundtrip() {
+        let earlier = HydraStats {
+            activations: 10,
+            gct_only: 7,
+            side_reads: 2,
+            ..Default::default()
+        };
+        let later = HydraStats {
+            activations: 25,
+            gct_only: 18,
+            side_reads: 5,
+            mitigations: 3,
+            ..Default::default()
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.activations, 15);
+        assert_eq!(delta.gct_only, 11);
+        assert_eq!(delta.side_reads, 3);
+        assert_eq!(delta.mitigations, 3);
+        // earlier + delta == later, field for field.
+        let mut rebuilt = earlier;
+        rebuilt.accumulate(&delta);
+        assert_eq!(rebuilt, later);
+    }
+
+    #[test]
+    fn display_renders_aligned_rows_with_bucket_shares() {
+        let s = HydraStats {
+            activations: 200,
+            gct_only: 180,
+            rcc_hits: 15,
+            rct_accesses: 5,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        // Header + rule + one line per counter.
+        assert_eq!(lines.len(), 2 + HydraStats::FIELD_COUNT);
+        assert!(lines[0].starts_with("counter"));
+        assert!(lines[2].starts_with("activations"));
+        let gct_line = lines
+            .iter()
+            .find(|l| l.starts_with("gct_only"))
+            .expect("gct_only row");
+        assert!(gct_line.contains("90.0%"), "share column: {gct_line}");
+        // Fixed-width columns: every counter row spans name + gap + value.
+        assert!(lines[2].len() >= 24 + 1 + 14);
     }
 }

@@ -8,6 +8,7 @@ use crate::rct::{RctBackend, RowCountTable};
 use crate::rit::RitActTable;
 use crate::stats::HydraStats;
 use crate::storage::HydraStorage;
+use hydra_telemetry::{EventSink, NoopSink, TelemetryEvent};
 use hydra_types::addr::RowAddr;
 use hydra_types::clock::MemCycle;
 use hydra_types::error::ConfigError;
@@ -25,8 +26,15 @@ use hydra_types::tracker::{ActivationKind, ActivationTracker, SideRequest, Track
 /// parameter (default: the real [`RowCountTable`]); fault-injection shims
 /// wrap the table through [`Hydra::with_rct`] without forking the tracking
 /// logic.
+///
+/// Telemetry is pluggable the same way: the [`EventSink`] type parameter
+/// (default: [`NoopSink`]) receives a [`TelemetryEvent`] at every hot-path
+/// decision point. With the default sink the instrumentation compiles to
+/// nothing — the probe-identity proptest in `tests/probe_identity.rs`
+/// proves a probed tracker is bit-identical to a bare one. Attach a real
+/// sink with [`Hydra::with_probe`] or [`Hydra::with_rct_and_probe`].
 #[derive(Debug, Clone)]
-pub struct Hydra<R: RctBackend = RowCountTable> {
+pub struct Hydra<R: RctBackend = RowCountTable, P: EventSink = NoopSink> {
     config: HydraConfig,
     gct: GroupCountTable,
     rcc: RowCountCache,
@@ -36,6 +44,7 @@ pub struct Hydra<R: RctBackend = RowCountTable> {
     stats: HydraStats,
     rows_per_group: u64,
     windows: u64,
+    probe: P,
 }
 
 impl Hydra {
@@ -63,6 +72,19 @@ impl Hydra {
     }
 }
 
+impl<P: EventSink> Hydra<RowCountTable, P> {
+    /// Creates a Hydra instance over the real RCT with a telemetry probe
+    /// attached: every hot-path event is emitted into `probe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] under the same conditions as [`Hydra::new`].
+    pub fn with_probe(config: HydraConfig, probe: P) -> Result<Self, ConfigError> {
+        let rct = RowCountTable::new(config.geometry, config.channel);
+        Hydra::with_rct_and_probe(config, rct, probe)
+    }
+}
+
 impl<R: RctBackend> Hydra<R> {
     /// Creates a Hydra instance over a caller-provided RCT backend (e.g. a
     /// fault-injecting wrapper around [`RowCountTable`]).
@@ -72,6 +94,20 @@ impl<R: RctBackend> Hydra<R> {
     /// Returns [`ConfigError`] if the indexer's domain or the backend's
     /// entry count does not match the channel's row count.
     pub fn with_rct(config: HydraConfig, rct: R) -> Result<Self, ConfigError> {
+        Hydra::with_rct_and_probe(config, rct, NoopSink)
+    }
+}
+
+impl<R: RctBackend, P: EventSink> Hydra<R, P> {
+    /// Creates a Hydra instance over a caller-provided RCT backend *and*
+    /// telemetry probe — the fully general constructor behind
+    /// [`Hydra::new`], [`Hydra::with_rct`] and [`Hydra::with_probe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the indexer's domain or the backend's
+    /// entry count does not match the channel's row count.
+    pub fn with_rct_and_probe(config: HydraConfig, rct: R, probe: P) -> Result<Self, ConfigError> {
         let rows = config.rows_covered();
         if config.indexer.rows() != rows {
             return Err(ConfigError::new(format!(
@@ -102,8 +138,26 @@ impl<R: RctBackend> Hydra<R> {
             stats: HydraStats::default(),
             rows_per_group: config.rows_per_group(),
             windows: 0,
+            probe,
             config,
         })
+    }
+
+    /// The attached telemetry probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the telemetry probe (drain a ring buffer, read
+    /// counters mid-run).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the tracker, returning the probe (collect a trace after a
+    /// run).
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// The configuration this instance was built with.
@@ -182,6 +236,7 @@ impl<R: RctBackend> Hydra<R> {
     fn per_row_path(
         &mut self,
         row: RowAddr,
+        now: MemCycle,
         slot: u64,
         fresh_count: Option<u32>,
         response: &mut TrackerResponse,
@@ -193,13 +248,19 @@ impl<R: RctBackend> Hydra<R> {
                 // Case 2: RCC hit — update in place.
                 *count += 1;
                 self.stats.rcc_hits += 1;
-                if *count >= t_h {
+                let mitigate = *count >= t_h;
+                if mitigate {
                     *count = 0;
                     self.stats.mitigations += 1;
                     response.mitigations.push(MitigationRequest::new(row));
                 }
+                self.probe.emit(now, TelemetryEvent::RccHit { slot });
+                if mitigate {
+                    self.probe.emit(now, TelemetryEvent::Mitigation { row });
+                }
                 return;
             }
+            self.probe.emit(now, TelemetryEvent::RccMiss { slot });
         }
 
         // Case 3 (or spill install): the count comes from DRAM.
@@ -208,6 +269,7 @@ impl<R: RctBackend> Hydra<R> {
             None => {
                 self.stats.rct_accesses += 1;
                 self.stats.side_reads += 1;
+                self.probe.emit(now, TelemetryEvent::RctRead { slot });
                 response
                     .side_requests
                     .push(SideRequest::read(self.rct.dram_row_of_slot(slot)));
@@ -217,14 +279,20 @@ impl<R: RctBackend> Hydra<R> {
                     ReadVerdict::Clean(v) => v + 1,
                     ReadVerdict::Recovered { value, mitigate } => {
                         self.stats.parity_errors += 1;
+                        self.probe.emit(now, TelemetryEvent::ParityError { slot });
                         if mitigate {
                             // Escalation: refresh the victim now; tracking
                             // restarts from the substituted value.
                             self.stats.degraded_refreshes += 1;
                             self.stats.mitigations += 1;
                             response.mitigations.push(MitigationRequest::new(row));
+                            self.probe
+                                .emit(now, TelemetryEvent::DegradedRefresh { slot });
+                            self.probe.emit(now, TelemetryEvent::Mitigation { row });
                         } else {
                             self.stats.degraded_reinits += 1;
+                            self.probe
+                                .emit(now, TelemetryEvent::DegradedReinit { slot });
                         }
                         value + 1
                     }
@@ -235,15 +303,26 @@ impl<R: RctBackend> Hydra<R> {
             count = 0;
             self.stats.mitigations += 1;
             response.mitigations.push(MitigationRequest::new(row));
+            self.probe.emit(now, TelemetryEvent::Mitigation { row });
         }
 
         if self.config.use_rcc {
             if let Some(evicted) = self.rcc.insert(slot, count) {
-                if self.config.rcc_writeback {
+                let writeback = self.config.rcc_writeback;
+                self.probe.emit(
+                    now,
+                    TelemetryEvent::RccEvict {
+                        slot: evicted.slot,
+                        writeback,
+                    },
+                );
+                if writeback {
                     // Valid entries are always dirty: write the victim back.
                     self.rct.write(evicted.slot, evicted.count);
                     self.degrade.record_write(evicted.slot, evicted.count);
                     self.stats.side_writes += 1;
+                    self.probe
+                        .emit(now, TelemetryEvent::RctWrite { slot: evicted.slot });
                     response
                         .side_requests
                         .push(SideRequest::write(self.rct.dram_row_of_slot(evicted.slot)));
@@ -256,6 +335,7 @@ impl<R: RctBackend> Hydra<R> {
             self.rct.write(slot, count);
             self.degrade.record_write(slot, count);
             self.stats.side_writes += 1;
+            self.probe.emit(now, TelemetryEvent::RctWrite { slot });
             response
                 .side_requests
                 .push(SideRequest::write(self.rct.dram_row_of_slot(slot)));
@@ -265,9 +345,21 @@ impl<R: RctBackend> Hydra<R> {
     /// Handles the GCT spill: initialize the group's RCT entries to `T_G`
     /// (two line reads + two line writes for 128-row groups) and install the
     /// triggering row's entry.
-    fn spill_group(&mut self, row: RowAddr, slot: u64, response: &mut TrackerResponse) {
+    fn spill_group(
+        &mut self,
+        row: RowAddr,
+        now: MemCycle,
+        slot: u64,
+        response: &mut TrackerResponse,
+    ) {
         let t_g = self.config.t_g;
         let group_start = (slot / self.rows_per_group) * self.rows_per_group;
+        self.probe.emit(
+            now,
+            TelemetryEvent::GroupSpill {
+                group: slot / self.rows_per_group,
+            },
+        );
         let touched = self.rct.init_group(group_start, self.rows_per_group, t_g);
         self.degrade
             .record_group(group_start, self.rows_per_group, t_g);
@@ -286,15 +378,15 @@ impl<R: RctBackend> Hydra<R> {
         }
         // The triggering activation is already included in T_G (the GCT
         // counted it), so install the row at T_G without another increment.
-        self.per_row_path(row, slot, Some(t_g), response);
+        self.per_row_path(row, now, slot, Some(t_g), response);
     }
 }
 
-impl<R: RctBackend> ActivationTracker for Hydra<R> {
+impl<R: RctBackend, P: EventSink> ActivationTracker for Hydra<R, P> {
     fn on_activation(
         &mut self,
         row: RowAddr,
-        _now: MemCycle,
+        now: MemCycle,
         kind: ActivationKind,
     ) -> TrackerResponse {
         debug_assert_eq!(
@@ -308,9 +400,12 @@ impl<R: RctBackend> ActivationTracker for Hydra<R> {
         // the dedicated SRAM RIT-ACT counters, never by the GCT/RCT path.
         if self.rct.is_reserved(row) {
             self.stats.reserved_activations += 1;
+            self.probe
+                .emit(now, TelemetryEvent::ReservedActivation { row });
             let idx = self.rct.reserved_index(row);
             if self.rit.on_activation(idx) {
                 self.stats.rit_mitigations += 1;
+                self.probe.emit(now, TelemetryEvent::RitMitigation { row });
                 response.mitigations.push(MitigationRequest::new(row));
             }
             return response;
@@ -331,17 +426,23 @@ impl<R: RctBackend> ActivationTracker for Hydra<R> {
                 GctOutcome::Below => {
                     // Case 1: aggregate tracking suffices (~90.7 % of ACTs).
                     self.stats.gct_only += 1;
+                    self.probe.emit(
+                        now,
+                        TelemetryEvent::GctOnly {
+                            group: group as u64,
+                        },
+                    );
                 }
                 GctOutcome::JustSaturated => {
-                    self.spill_group(row, slot, &mut response);
+                    self.spill_group(row, now, slot, &mut response);
                 }
                 GctOutcome::Saturated => {
-                    self.per_row_path(row, slot, None, &mut response);
+                    self.per_row_path(row, now, slot, None, &mut response);
                 }
             }
         } else {
             // Hydra-NoGCT ablation: every activation takes the per-row path.
-            self.per_row_path(row, slot, None, &mut response);
+            self.per_row_path(row, now, slot, None, &mut response);
         }
 
         // Probabilistic-fallback degradation: activations routed to a group
@@ -349,17 +450,29 @@ impl<R: RctBackend> ActivationTracker for Hydra<R> {
         // draw a PARA-style mitigation until the window resets.
         if self.degrade.fallback_mitigate(group) {
             self.stats.degraded_probabilistic += 1;
+            self.probe.emit(
+                now,
+                TelemetryEvent::DegradedProbabilistic {
+                    group: group as u64,
+                },
+            );
             response.mitigations.push(MitigationRequest::new(row));
         }
         response
     }
 
-    fn reset_window(&mut self, _now: MemCycle) {
+    fn reset_window(&mut self, now: MemCycle) {
         self.gct.reset();
         self.rcc.reset();
         self.rit.reset();
         self.windows += 1;
         self.stats.window_resets += 1;
+        self.probe.emit(
+            now,
+            TelemetryEvent::WindowReset {
+                window: self.windows,
+            },
+        );
         // Re-key the randomized indexer each window (footnote 4). The RCT's
         // stale contents are harmless: entries are reinitialized by the next
         // group spill before they are consulted.
@@ -689,6 +802,50 @@ mod tests {
             before, after,
             "per-window re-keying must change the mapping"
         );
+    }
+
+    #[test]
+    fn activation_buckets_partition_every_real_activation() {
+        // The four buckets (GCT-only, RCC-hit, RCT-access, reserved) must
+        // partition *all* activations on a real run mixing hot rows, group
+        // mates, reserved rows, mitigation refreshes and window resets —
+        // unlike the hand-built structs above, this exercises the actual
+        // tracking paths including spills and evictions.
+        let mut h = small();
+        let reserved = RowAddr::new(0, 0, 3, 1023);
+        assert!(h.is_reserved_row(reserved));
+        for i in 0..5_000u64 {
+            let row = if i % 17 == 0 {
+                reserved
+            } else if i % 3 == 0 {
+                // A small hot set that stays resident in the RCC.
+                RowAddr::new(0, 0, 0, (i % 8) as u32)
+            } else {
+                RowAddr::new(0, 0, (i % 4) as u8, ((i * 13) % 400) as u32)
+            };
+            let kind = if i % 37 == 0 {
+                ActivationKind::MitigationRefresh
+            } else {
+                ActivationKind::Demand
+            };
+            h.on_activation(row, i, kind);
+            if i % 1000 == 999 {
+                h.reset_window(i);
+            }
+        }
+        let s = h.stats();
+        assert!(s.group_spills > 0 && s.rcc_hits > 0, "run must be mixed");
+        assert!(s.reserved_activations > 0);
+        assert_eq!(
+            s.gct_only + s.rcc_hits + s.rct_accesses + s.reserved_activations,
+            s.activations,
+            "bucket partition must be exhaustive: {s:?}"
+        );
+        let fractions = s.gct_only_fraction()
+            + s.rcc_hit_fraction()
+            + s.rct_access_fraction()
+            + s.reserved_fraction();
+        assert!((fractions - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::config::SystemConfig;
 use crate::rowswap::RowIndirection;
 use hydra_dram::DramChannel;
+use hydra_telemetry::{CtrlQueue, EventSink, TelemetryEvent};
 use hydra_types::addr::{LineAddr, RowAddr};
 use hydra_types::clock::MemCycle;
 use hydra_types::mitigation::MitigationPolicy;
@@ -125,6 +126,9 @@ pub struct MemController {
     /// Logical→physical row remapping (row-swap mitigation only).
     indirection: Option<RowIndirection>,
     stats: ControllerStats,
+    /// Optional telemetry sink for queue enqueue/issue events; `None` costs
+    /// one branch per emission site.
+    probe: Option<Box<dyn EventSink>>,
 }
 
 impl MemController {
@@ -162,6 +166,30 @@ impl MemController {
                 _ => None,
             },
             stats: ControllerStats::default(),
+            probe: None,
+        }
+    }
+
+    /// Attaches a telemetry sink: queue enqueue/issue events and window
+    /// resets are emitted into it from now on.
+    pub fn set_probe(&mut self, probe: Box<dyn EventSink>) {
+        self.probe = Some(probe);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn probe(&self) -> Option<&dyn EventSink> {
+        self.probe.as_deref().map(|p| p as &dyn EventSink)
+    }
+
+    /// Detaches and returns the telemetry sink (collect a trace post-run).
+    pub fn take_probe(&mut self) -> Option<Box<dyn EventSink>> {
+        self.probe.take()
+    }
+
+    #[inline]
+    fn emit(&mut self, now: MemCycle, event: TelemetryEvent) {
+        if let Some(p) = self.probe.as_mut() {
+            p.emit(now, event);
         }
     }
 
@@ -212,6 +240,14 @@ impl MemController {
             kind: RequestKind::DemandRead { core },
             arrival: now,
         });
+        let depth = self.read_q.len() as u32;
+        self.emit(
+            now,
+            TelemetryEvent::CtrlEnqueue {
+                queue: CtrlQueue::Read,
+                depth,
+            },
+        );
         Some(id)
     }
 
@@ -233,6 +269,14 @@ impl MemController {
             kind: RequestKind::DemandWrite,
             arrival: now,
         });
+        let depth = self.write_q.len() as u32;
+        self.emit(
+            now,
+            TelemetryEvent::CtrlEnqueue {
+                queue: CtrlQueue::Write,
+                depth,
+            },
+        );
         true
     }
 
@@ -262,6 +306,14 @@ impl MemController {
                                 kind: RequestKind::VictimRefresh,
                                 arrival: now,
                             });
+                            let depth = self.mitigation_q.len() as u32;
+                            self.emit(
+                                now,
+                                TelemetryEvent::CtrlEnqueue {
+                                    queue: CtrlQueue::Mitigation,
+                                    depth,
+                                },
+                            );
                         }
                     }
                 }
@@ -322,6 +374,14 @@ impl MemController {
                 },
                 arrival: now,
             });
+            let depth = self.side_q.len() as u32;
+            self.emit(
+                now,
+                TelemetryEvent::CtrlEnqueue {
+                    queue: CtrlQueue::Side,
+                    depth,
+                },
+            );
         }
     }
 
@@ -332,6 +392,8 @@ impl MemController {
         if now >= self.next_window_reset {
             self.tracker.reset_window(now);
             self.stats.window_resets += 1;
+            let window = self.stats.window_resets;
+            self.emit(now, TelemetryEvent::WindowReset { window });
             self.next_window_reset += self.dram.timing().refresh_window;
             // Rate-limit blacklists expire with the window.
             self.blacklist.retain(|_, &mut until| until > now);
@@ -403,6 +465,13 @@ impl MemController {
                 self.dram.activate(rank, bank, req.row.row, now);
                 self.mitigation_q.remove(i);
                 self.auto_close.push((rank, bank));
+                self.emit(
+                    now,
+                    TelemetryEvent::CtrlIssue {
+                        queue: CtrlQueue::Mitigation,
+                        wait: now.saturating_sub(req.arrival),
+                    },
+                );
                 self.notify_tracker(req.row, now, ActivationKind::MitigationRefresh);
                 return true;
             }
@@ -446,6 +515,13 @@ impl MemController {
         // The candidate index came from the same queue a moment ago, so the
         // remove cannot miss; the if-let just avoids a panic path.
         if let Some(req) = column_candidate.and_then(|i| self.queue_mut(sel).remove(i)) {
+            self.emit(
+                now,
+                TelemetryEvent::CtrlIssue {
+                    queue: sel.telemetry_queue(),
+                    wait: now.saturating_sub(req.arrival),
+                },
+            );
             let is_write = matches!(req.kind, RequestKind::DemandWrite | RequestKind::SideWrite);
             let done = if is_write {
                 self.dram.write(req.row.rank, req.row.bank, now)
@@ -543,6 +619,16 @@ enum QueueSel {
     Read,
     Write,
     Side,
+}
+
+impl QueueSel {
+    fn telemetry_queue(self) -> CtrlQueue {
+        match self {
+            QueueSel::Read => CtrlQueue::Read,
+            QueueSel::Write => CtrlQueue::Write,
+            QueueSel::Side => CtrlQueue::Side,
+        }
+    }
 }
 
 impl std::fmt::Debug for MemController {
@@ -851,5 +937,52 @@ mod tests {
         c.enqueue_read(geom.line_of_row(logical, 1), 0, now);
         run_until_idle(&mut c, now);
         assert_eq!(c.stats().row_swaps, 1, "no further swap: aggressor moved");
+    }
+
+    /// Forwards into a shared ring buffer so the test can inspect events
+    /// after the controller boxes the sink.
+    struct Shared(std::rc::Rc<std::cell::RefCell<hydra_telemetry::RingBufferSink>>);
+    impl EventSink for Shared {
+        fn emit(&mut self, now: u64, event: TelemetryEvent) {
+            self.0.borrow_mut().emit(now, event);
+        }
+    }
+
+    #[test]
+    fn probe_observes_the_full_queue_lifecycle() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let config = SystemConfig::tiny_test();
+        let mut c = MemController::new(&config, 0, Box::new(EveryN { n: 1, count: 0 }));
+        let buf = Rc::new(RefCell::new(hydra_telemetry::RingBufferSink::new(4096)));
+        c.set_probe(Box::new(Shared(Rc::clone(&buf))));
+        let geom = MemGeometry::tiny();
+        c.enqueue_read(geom.line_of_row(RowAddr::new(0, 0, 0, 100), 0), 0, 0);
+        assert!(c.enqueue_write(geom.line_of_row(RowAddr::new(0, 0, 1, 7), 0), 0));
+        run_until_idle(&mut c, 0);
+
+        let events = buf.borrow();
+        assert_eq!(events.dropped(), 0);
+        let count = |queue: CtrlQueue, enqueue: bool| {
+            events
+                .events()
+                .filter(|t| match t.event {
+                    TelemetryEvent::CtrlEnqueue { queue: q, .. } if enqueue => q == queue,
+                    TelemetryEvent::CtrlIssue { queue: q, .. } if !enqueue => q == queue,
+                    _ => false,
+                })
+                .count()
+        };
+        assert_eq!(count(CtrlQueue::Read, true), 1);
+        assert_eq!(count(CtrlQueue::Read, false), 1, "the read must issue");
+        assert_eq!(count(CtrlQueue::Write, true), 1);
+        assert_eq!(count(CtrlQueue::Write, false), 1, "the write must issue");
+        // EveryN{1} mitigates each demand ACT (read + write): every victim
+        // refresh is enqueued and later issued, none lost.
+        let mit_in = count(CtrlQueue::Mitigation, true);
+        assert!(mit_in >= 4, "blast radius 2 -> at least 4 victim refreshes");
+        assert_eq!(count(CtrlQueue::Mitigation, false), mit_in);
+        assert_eq!(mit_in as u64, c.stats().mitigation_acts);
     }
 }

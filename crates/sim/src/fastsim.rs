@@ -164,11 +164,25 @@ impl<T: ActivationTracker> ActivationSim<T> {
 
     /// Replays one demand activation, expanding all induced work.
     pub fn activate(&mut self, row: RowAddr) {
+        self.activate_observed(row, |_, _| {});
+    }
+
+    /// Like [`Self::activate`], but invokes `on_window_reset(&tracker, now)`
+    /// immediately after any window reset this activation triggers — i.e.
+    /// at the exact window boundary, before the activation itself is
+    /// processed. Window-snapshot instrumentation (`crate::metrics`) hangs
+    /// off this hook so per-window deltas attribute every activation to the
+    /// window it lands in.
+    pub fn activate_observed<F>(&mut self, row: RowAddr, mut on_window_reset: F)
+    where
+        F: FnMut(&T, MemCycle),
+    {
         self.now += self.cycles_per_act;
         if self.now >= self.next_reset {
             self.tracker.reset_window(self.now);
             self.report.window_resets += 1;
             self.next_reset += self.timing.refresh_window;
+            on_window_reset(&self.tracker, self.now);
         }
         // Work queue: (row, kind). Mitigation victims append more entries.
         let mut work: VecDeque<(RowAddr, ActivationKind)> = VecDeque::new();

@@ -70,18 +70,28 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// Approximate percentile (`q` in `[0, 1]`): the upper bound of the
-    /// bucket containing the q-quantile. Returns 0 for an empty histogram.
+    /// Approximate percentile (`q` in `[0, 1]`, clamped): the upper bound
+    /// of the bucket containing the q-quantile, clamped to the true
+    /// [`max`](Self::max) so the estimate never exceeds an observed value.
+    ///
+    /// Edge cases: an empty histogram returns 0 for every `q`; `q = 0.0`
+    /// returns the upper bound of the first occupied bucket (a min-side
+    /// estimate); `q >= 1.0` returns [`max`](Self::max) exactly.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max as f64;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
-            if seen >= target.max(1) {
-                return (1u64 << (i + 1)) as f64;
+            if seen >= target {
+                let bound = 1u64 << (i + 1);
+                return bound.min(self.max) as f64;
             }
         }
         self.max as f64
@@ -166,5 +176,77 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
         assert!(h.percentile(0.5) > 0.0);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero_at_every_q() {
+        let h = LatencyHistogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(h.percentile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn p100_returns_max_exactly() {
+        let mut h = LatencyHistogram::new();
+        for v in [3u64, 17, 900, 12_345] {
+            h.record(v);
+        }
+        // Bucket bounds would say 16384; p=1.0 must report the true max.
+        assert_eq!(h.percentile(1.0), 12_345.0);
+        assert_eq!(h.percentile(7.5), 12_345.0, "q clamps to 1");
+    }
+
+    #[test]
+    fn p0_is_a_min_side_estimate() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        h.record(5_000);
+        // First occupied bucket is [64, 128): p0 reports its upper bound.
+        assert_eq!(h.percentile(0.0), 128.0);
+        assert_eq!(h.percentile(-3.0), 128.0, "q clamps to 0");
+    }
+
+    #[test]
+    fn percentile_never_exceeds_max() {
+        let mut h = LatencyHistogram::new();
+        // 1000 sits in [512, 1024): the raw bucket bound overshoots.
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert!(h.percentile(q) <= 1000.0, "q={q}");
+        }
+        assert_eq!(h.percentile(0.5), 1000.0);
+    }
+
+    #[test]
+    fn all_zero_values_report_zero_percentiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.percentile(1.0), 0.0);
+    }
+
+    #[test]
+    fn merged_percentiles_match_a_single_histogram() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * 10)
+            } else {
+                b.record(v * 10)
+            }
+            whole.record(v * 10);
+        }
+        a.merge(&b);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(a.percentile(q), whole.percentile(q), "q={q}");
+        }
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean(), whole.mean());
     }
 }

@@ -11,6 +11,10 @@
 //! against a tracker with a bandwidth cost model; the security experiments
 //! and quick parameter sweeps use it.
 //!
+//! The [`metrics`] module turns a run into a per-window time-series of
+//! `HydraStats` deltas (with optional latency percentiles) that exports to
+//! JSONL/CSV via `hydra-telemetry`.
+//!
 //! The [`batch`] module wraps either simulator in a resilient batch
 //! harness: per-run panic isolation, a wall-clock watchdog, bounded retry
 //! with exponential backoff, and replay-artifact emission on terminal
@@ -41,6 +45,7 @@ pub mod core;
 pub mod fastsim;
 pub mod histogram;
 pub mod llc;
+pub mod metrics;
 pub mod rowswap;
 pub mod stats;
 pub mod system;
@@ -53,6 +58,7 @@ pub use core::CoreModel;
 pub use fastsim::{ActivationSim, ActivationSimReport};
 pub use histogram::LatencyHistogram;
 pub use llc::SharedLlc;
+pub use metrics::{run_windowed, LatencySummary, StatsSource, WindowRecord, WindowSeries};
 pub use rowswap::RowIndirection;
 pub use stats::{geometric_mean, SimResult};
 pub use system::SystemSim;

@@ -2,6 +2,7 @@
 
 use crate::controller::ControllerStats;
 use hydra_types::clock::MemCycle;
+use std::fmt;
 
 /// Aggregate result of a full-system run.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +63,29 @@ impl SimResult {
     }
 }
 
+impl fmt::Display for SimResult {
+    /// Renders an aligned two-column summary: headline run metrics followed
+    /// by the channel-aggregated activation counters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: [(&str, String); 8] = [
+            ("mem cycles", self.cycles.to_string()),
+            ("cpu cycles", self.cpu_cycles.to_string()),
+            ("instructions", self.instructions.to_string()),
+            ("ipc", format!("{:.4}", self.ipc())),
+            ("channels", self.controllers.len().to_string()),
+            ("demand ACTs", self.demand_acts().to_string()),
+            ("mitigation ACTs", self.mitigation_acts().to_string()),
+            ("side accesses", self.side_accesses().to_string()),
+        ];
+        writeln!(f, "{:<24} {:>14}", "metric", "value")?;
+        writeln!(f, "{:-<24} {:->14}", "", "")?;
+        for (name, value) in rows {
+            writeln!(f, "{name:<24} {value:>14}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Geometric mean of a slice of positive values — the aggregation the
 /// paper's figures use for suite averages.
 ///
@@ -114,6 +138,19 @@ mod tests {
         assert!((slow.normalized_to(&base) - 0.8).abs() < 1e-12);
         assert!((slow.slowdown_pct(&base) - 25.0).abs() < 1e-9);
         assert!((base.slowdown_pct(&base)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_aligned_metric_rows() {
+        let r = result(1000, 4000);
+        let text = r.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 + 8);
+        assert!(lines[0].starts_with("metric"));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("ipc") && l.contains("2.0000")));
+        assert!(lines.iter().any(|l| l.starts_with("demand ACTs")));
     }
 
     #[test]

@@ -62,9 +62,28 @@ impl SystemSim {
         self
     }
 
+    /// Attaches a telemetry sink to each channel's controller:
+    /// `probe_factory(channel)` receives queue enqueue/issue events and
+    /// window resets for that channel.
+    pub fn with_probes<F>(mut self, mut probe_factory: F) -> Self
+    where
+        F: FnMut(u8) -> Box<dyn hydra_telemetry::EventSink>,
+    {
+        for (ch, controller) in self.controllers.iter_mut().enumerate() {
+            controller.set_probe(probe_factory(ch as u8));
+        }
+        self
+    }
+
     /// Access a channel's controller (for stats after a run).
     pub fn controller(&self, channel: u8) -> &MemController {
         &self.controllers[channel as usize]
+    }
+
+    /// Mutable access to a channel's controller (attach or drain telemetry
+    /// probes around a run).
+    pub fn controller_mut(&mut self, channel: u8) -> &mut MemController {
+        &mut self.controllers[channel as usize]
     }
 
     /// Access the configuration.
@@ -106,17 +125,24 @@ impl SystemSim {
         self.collect(now)
     }
 
-    /// Like [`Self::run`], but prints per-core progress every
-    /// `report_every` cycles — a debugging aid for stuck configurations.
-    pub fn run_with_progress(&mut self, report_every: MemCycle) -> SimResult {
+    /// Like [`Self::run`], but invokes `report` with a progress summary
+    /// every `report_every` cycles — a debugging aid for stuck
+    /// configurations. The library never prints; the caller decides where
+    /// the summary goes (a bin's stderr, a log sink, a test buffer).
+    pub fn run_with_progress<F>(&mut self, report_every: MemCycle, mut report: F) -> SimResult
+    where
+        F: FnMut(&str),
+    {
+        use std::fmt::Write as _;
         let mut now: MemCycle = 0;
         while !self.cores.iter().all(|c| c.is_done()) {
             if report_every > 0 && now.is_multiple_of(report_every) && now > 0 {
                 let retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
-                eprintln!("cycle {now}: retired {retired:?}");
+                let mut summary = format!("cycle {now}: retired {retired:?}");
                 for (i, c) in self.controllers.iter().enumerate() {
-                    eprintln!("  ch{i}: {c:?}");
+                    let _ = write!(summary, "\n  ch{i}: {c:?}");
                 }
+                report(&summary);
             }
             for controller in &mut self.controllers {
                 for done in controller.tick(now) {

@@ -1,0 +1,414 @@
+//! The event taxonomy: everything the instrumented hot paths can report.
+
+use hydra_types::RowAddr;
+use std::fmt::Write as _;
+
+/// Which memory-controller queue an event refers to.
+///
+/// Mirrors the four per-channel queues of the FR-FCFS controller in
+/// `hydra-sim` (reads, writes, tracker side traffic, mitigations); defined
+/// here so the controller can emit queue events without a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlQueue {
+    /// Demand read queue.
+    Read,
+    /// Demand write queue.
+    Write,
+    /// Tracker side-request queue (RCT metadata traffic).
+    Side,
+    /// Mitigation (victim refresh) queue.
+    Mitigation,
+}
+
+impl CtrlQueue {
+    /// Short lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CtrlQueue::Read => "read",
+            CtrlQueue::Write => "write",
+            CtrlQueue::Side => "side",
+            CtrlQueue::Mitigation => "mitigation",
+        }
+    }
+}
+
+/// One instrumented happening inside the tracker or memory controller.
+///
+/// Events carry the minimal payload needed to reconstruct what happened;
+/// the emission timestamp travels separately (see
+/// [`EventSink::emit`](crate::EventSink::emit)) so `Copy` event values stay
+/// 16 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// An activation fully absorbed by the GCT (entry below `T_G`).
+    GctOnly {
+        /// Row-group index whose GCT entry was incremented.
+        group: u64,
+    },
+    /// A GCT entry reached `T_G`: the group spilled to the RCT.
+    GroupSpill {
+        /// Row-group index that saturated.
+        group: u64,
+    },
+    /// Per-row path found the row's count in the RCC.
+    RccHit {
+        /// RCT slot (permuted row index) that hit.
+        slot: u64,
+    },
+    /// Per-row path missed in the RCC (an RCT read follows).
+    RccMiss {
+        /// RCT slot that missed.
+        slot: u64,
+    },
+    /// An RCC fill evicted a victim entry.
+    RccEvict {
+        /// RCT slot of the evicted victim.
+        slot: u64,
+        /// True if the victim's count was written back to the RCT
+        /// (false only in the insecure no-writeback ablation).
+        writeback: bool,
+    },
+    /// A counter was read from the in-DRAM RCT.
+    RctRead {
+        /// RCT slot read.
+        slot: u64,
+    },
+    /// A counter was written to the in-DRAM RCT.
+    RctWrite {
+        /// RCT slot written.
+        slot: u64,
+    },
+    /// A mitigation (victim refresh) was issued for an ordinary row.
+    Mitigation {
+        /// The aggressor row being mitigated.
+        row: RowAddr,
+    },
+    /// RIT-ACT issued a mitigation for a reserved (RCT-storage) row.
+    RitMitigation {
+        /// The reserved aggressor row.
+        row: RowAddr,
+    },
+    /// An activation landed on a reserved (RCT-storage) row.
+    ReservedActivation {
+        /// The reserved row activated.
+        row: RowAddr,
+    },
+    /// The tracking window was reset (SRAM cleared, indexer re-keyed).
+    WindowReset {
+        /// Number of completed windows after this reset (1-based).
+        window: u64,
+    },
+    /// An RCT read failed its per-entry parity check.
+    ParityError {
+        /// RCT slot whose stored value failed parity.
+        slot: u64,
+    },
+    /// A parity failure was recovered by re-initializing the entry to `T_G`.
+    DegradedReinit {
+        /// RCT slot re-initialized.
+        slot: u64,
+    },
+    /// A parity failure was escalated to an immediate victim refresh.
+    DegradedRefresh {
+        /// RCT slot whose corruption triggered the refresh.
+        slot: u64,
+    },
+    /// A PARA-style extra mitigation was drawn for a degraded group.
+    DegradedProbabilistic {
+        /// Row-group index under probabilistic fallback.
+        group: u64,
+    },
+    /// A request entered a memory-controller queue.
+    CtrlEnqueue {
+        /// Which queue.
+        queue: CtrlQueue,
+        /// Queue depth immediately after the enqueue.
+        depth: u32,
+    },
+    /// A request left a memory-controller queue (issued to DRAM).
+    CtrlIssue {
+        /// Which queue.
+        queue: CtrlQueue,
+        /// Memory cycles the request waited in the queue.
+        wait: u64,
+    },
+}
+
+/// The kind (discriminant) of a [`TelemetryEvent`], payload stripped.
+///
+/// Used for per-kind counting and filtering; [`EventKind::ALL`] enumerates
+/// every kind in a stable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// See [`TelemetryEvent::GctOnly`].
+    GctOnly,
+    /// See [`TelemetryEvent::GroupSpill`].
+    GroupSpill,
+    /// See [`TelemetryEvent::RccHit`].
+    RccHit,
+    /// See [`TelemetryEvent::RccMiss`].
+    RccMiss,
+    /// See [`TelemetryEvent::RccEvict`].
+    RccEvict,
+    /// See [`TelemetryEvent::RctRead`].
+    RctRead,
+    /// See [`TelemetryEvent::RctWrite`].
+    RctWrite,
+    /// See [`TelemetryEvent::Mitigation`].
+    Mitigation,
+    /// See [`TelemetryEvent::RitMitigation`].
+    RitMitigation,
+    /// See [`TelemetryEvent::ReservedActivation`].
+    ReservedActivation,
+    /// See [`TelemetryEvent::WindowReset`].
+    WindowReset,
+    /// See [`TelemetryEvent::ParityError`].
+    ParityError,
+    /// See [`TelemetryEvent::DegradedReinit`].
+    DegradedReinit,
+    /// See [`TelemetryEvent::DegradedRefresh`].
+    DegradedRefresh,
+    /// See [`TelemetryEvent::DegradedProbabilistic`].
+    DegradedProbabilistic,
+    /// See [`TelemetryEvent::CtrlEnqueue`].
+    CtrlEnqueue,
+    /// See [`TelemetryEvent::CtrlIssue`].
+    CtrlIssue,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order. `ALL[k.index()] == k`.
+    pub const ALL: [EventKind; 17] = [
+        EventKind::GctOnly,
+        EventKind::GroupSpill,
+        EventKind::RccHit,
+        EventKind::RccMiss,
+        EventKind::RccEvict,
+        EventKind::RctRead,
+        EventKind::RctWrite,
+        EventKind::Mitigation,
+        EventKind::RitMitigation,
+        EventKind::ReservedActivation,
+        EventKind::WindowReset,
+        EventKind::ParityError,
+        EventKind::DegradedReinit,
+        EventKind::DegradedRefresh,
+        EventKind::DegradedProbabilistic,
+        EventKind::CtrlEnqueue,
+        EventKind::CtrlIssue,
+    ];
+
+    /// Number of distinct kinds.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// This kind's position in [`EventKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::GctOnly => 0,
+            EventKind::GroupSpill => 1,
+            EventKind::RccHit => 2,
+            EventKind::RccMiss => 3,
+            EventKind::RccEvict => 4,
+            EventKind::RctRead => 5,
+            EventKind::RctWrite => 6,
+            EventKind::Mitigation => 7,
+            EventKind::RitMitigation => 8,
+            EventKind::ReservedActivation => 9,
+            EventKind::WindowReset => 10,
+            EventKind::ParityError => 11,
+            EventKind::DegradedReinit => 12,
+            EventKind::DegradedRefresh => 13,
+            EventKind::DegradedProbabilistic => 14,
+            EventKind::CtrlEnqueue => 15,
+            EventKind::CtrlIssue => 16,
+        }
+    }
+
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::GctOnly => "gct_only",
+            EventKind::GroupSpill => "group_spill",
+            EventKind::RccHit => "rcc_hit",
+            EventKind::RccMiss => "rcc_miss",
+            EventKind::RccEvict => "rcc_evict",
+            EventKind::RctRead => "rct_read",
+            EventKind::RctWrite => "rct_write",
+            EventKind::Mitigation => "mitigation",
+            EventKind::RitMitigation => "rit_mitigation",
+            EventKind::ReservedActivation => "reserved_activation",
+            EventKind::WindowReset => "window_reset",
+            EventKind::ParityError => "parity_error",
+            EventKind::DegradedReinit => "degraded_reinit",
+            EventKind::DegradedRefresh => "degraded_refresh",
+            EventKind::DegradedProbabilistic => "degraded_probabilistic",
+            EventKind::CtrlEnqueue => "ctrl_enqueue",
+            EventKind::CtrlIssue => "ctrl_issue",
+        }
+    }
+}
+
+impl TelemetryEvent {
+    /// This event's kind (payload stripped).
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TelemetryEvent::GctOnly { .. } => EventKind::GctOnly,
+            TelemetryEvent::GroupSpill { .. } => EventKind::GroupSpill,
+            TelemetryEvent::RccHit { .. } => EventKind::RccHit,
+            TelemetryEvent::RccMiss { .. } => EventKind::RccMiss,
+            TelemetryEvent::RccEvict { .. } => EventKind::RccEvict,
+            TelemetryEvent::RctRead { .. } => EventKind::RctRead,
+            TelemetryEvent::RctWrite { .. } => EventKind::RctWrite,
+            TelemetryEvent::Mitigation { .. } => EventKind::Mitigation,
+            TelemetryEvent::RitMitigation { .. } => EventKind::RitMitigation,
+            TelemetryEvent::ReservedActivation { .. } => EventKind::ReservedActivation,
+            TelemetryEvent::WindowReset { .. } => EventKind::WindowReset,
+            TelemetryEvent::ParityError { .. } => EventKind::ParityError,
+            TelemetryEvent::DegradedReinit { .. } => EventKind::DegradedReinit,
+            TelemetryEvent::DegradedRefresh { .. } => EventKind::DegradedRefresh,
+            TelemetryEvent::DegradedProbabilistic { .. } => EventKind::DegradedProbabilistic,
+            TelemetryEvent::CtrlEnqueue { .. } => EventKind::CtrlEnqueue,
+            TelemetryEvent::CtrlIssue { .. } => EventKind::CtrlIssue,
+        }
+    }
+
+    /// Appends this event as one JSON object (no trailing newline) to `out`.
+    ///
+    /// Schema: `{"t":<cycle>,"ev":"<kind>", ...payload}` with payload keys
+    /// per variant (`group`, `slot`, `writeback`, `ch`/`rank`/`bank`/`row`,
+    /// `window`, `queue`, `depth`, `wait`). Hand-rolled: every payload is
+    /// numeric or a fixed identifier, so no string escaping is needed.
+    pub fn write_json(&self, now: u64, out: &mut String) {
+        // Writing to a String cannot fail; `let _ =` keeps this path
+        // allocation-only without an unwrap.
+        let _ = write!(out, "{{\"t\":{now},\"ev\":\"{}\"", self.kind().name());
+        match *self {
+            TelemetryEvent::GctOnly { group }
+            | TelemetryEvent::GroupSpill { group }
+            | TelemetryEvent::DegradedProbabilistic { group } => {
+                let _ = write!(out, ",\"group\":{group}");
+            }
+            TelemetryEvent::RccHit { slot }
+            | TelemetryEvent::RccMiss { slot }
+            | TelemetryEvent::RctRead { slot }
+            | TelemetryEvent::RctWrite { slot }
+            | TelemetryEvent::ParityError { slot }
+            | TelemetryEvent::DegradedReinit { slot }
+            | TelemetryEvent::DegradedRefresh { slot } => {
+                let _ = write!(out, ",\"slot\":{slot}");
+            }
+            TelemetryEvent::RccEvict { slot, writeback } => {
+                let _ = write!(out, ",\"slot\":{slot},\"writeback\":{writeback}");
+            }
+            TelemetryEvent::Mitigation { row }
+            | TelemetryEvent::RitMitigation { row }
+            | TelemetryEvent::ReservedActivation { row } => {
+                let _ = write!(
+                    out,
+                    ",\"ch\":{},\"rank\":{},\"bank\":{},\"row\":{}",
+                    row.channel, row.rank, row.bank, row.row
+                );
+            }
+            TelemetryEvent::WindowReset { window } => {
+                let _ = write!(out, ",\"window\":{window}");
+            }
+            TelemetryEvent::CtrlEnqueue { queue, depth } => {
+                let _ = write!(out, ",\"queue\":\"{}\",\"depth\":{depth}", queue.name());
+            }
+            TelemetryEvent::CtrlIssue { queue, wait } => {
+                let _ = write!(out, ",\"queue\":\"{}\",\"wait\":{wait}", queue.name());
+            }
+        }
+        out.push('}');
+    }
+
+    /// Renders this event as one JSON line (no trailing newline).
+    pub fn to_json(&self, now: u64) -> String {
+        let mut s = String::with_capacity(64);
+        self.write_json(now, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_kind_in_order() {
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        assert_eq!(EventKind::COUNT, EventKind::ALL.len());
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::COUNT);
+    }
+
+    #[test]
+    fn json_rendering_per_variant() {
+        let ev = TelemetryEvent::GctOnly { group: 7 };
+        assert_eq!(ev.to_json(123), r#"{"t":123,"ev":"gct_only","group":7}"#);
+
+        let ev = TelemetryEvent::RccEvict {
+            slot: 5,
+            writeback: true,
+        };
+        assert_eq!(
+            ev.to_json(0),
+            r#"{"t":0,"ev":"rcc_evict","slot":5,"writeback":true}"#
+        );
+
+        let ev = TelemetryEvent::Mitigation {
+            row: RowAddr::new(1, 0, 3, 99),
+        };
+        assert_eq!(
+            ev.to_json(9),
+            r#"{"t":9,"ev":"mitigation","ch":1,"rank":0,"bank":3,"row":99}"#
+        );
+
+        let ev = TelemetryEvent::CtrlEnqueue {
+            queue: CtrlQueue::Side,
+            depth: 4,
+        };
+        assert_eq!(
+            ev.to_json(2),
+            r#"{"t":2,"ev":"ctrl_enqueue","queue":"side","depth":4}"#
+        );
+
+        let ev = TelemetryEvent::CtrlIssue {
+            queue: CtrlQueue::Mitigation,
+            wait: 17,
+        };
+        assert_eq!(
+            ev.to_json(3),
+            r#"{"t":3,"ev":"ctrl_issue","queue":"mitigation","wait":17}"#
+        );
+    }
+
+    #[test]
+    fn kind_roundtrip_matches_variant() {
+        let cases = [
+            (
+                TelemetryEvent::GroupSpill { group: 0 },
+                EventKind::GroupSpill,
+            ),
+            (
+                TelemetryEvent::WindowReset { window: 1 },
+                EventKind::WindowReset,
+            ),
+            (
+                TelemetryEvent::ParityError { slot: 2 },
+                EventKind::ParityError,
+            ),
+        ];
+        for (ev, kind) in cases {
+            assert_eq!(ev.kind(), kind);
+        }
+    }
+}

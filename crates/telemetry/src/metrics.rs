@@ -1,0 +1,234 @@
+//! Per-window metrics time-series with JSONL and CSV exporters.
+//!
+//! A [`MetricsRegistry`] is an append-only table of [`MetricsRow`]s. Rows
+//! are heterogeneous name/value lists, so the registry does not depend on
+//! any particular stats type — `hydra-sim` converts `HydraStats` window
+//! deltas and latency percentiles into rows (keeping the dependency arrow
+//! pointing from sim to telemetry, not the other way).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One metric value: integer counters or derived floating-point rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// An exact counter.
+    U64(u64),
+    /// A derived rate/fraction/percentile.
+    F64(f64),
+}
+
+impl MetricValue {
+    /// Renders the value as a JSON literal (non-finite floats become `null`).
+    fn write_json(self, out: &mut String) {
+        match self {
+            MetricValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v:?}");
+            }
+            MetricValue::F64(_) => out.push_str("null"),
+        }
+    }
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::U64(v) => write!(f, "{v}"),
+            MetricValue::F64(v) if v.is_finite() => write!(f, "{v:?}"),
+            MetricValue::F64(_) => write!(f, ""),
+        }
+    }
+}
+
+impl From<u64> for MetricValue {
+    fn from(v: u64) -> Self {
+        MetricValue::U64(v)
+    }
+}
+
+impl From<f64> for MetricValue {
+    fn from(v: f64) -> Self {
+        MetricValue::F64(v)
+    }
+}
+
+/// One row of the time-series: ordered `(name, value)` fields.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRow {
+    fields: Vec<(&'static str, MetricValue)>,
+}
+
+impl MetricsRow {
+    /// Creates an empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field; builder-style.
+    pub fn with(mut self, name: &'static str, value: impl Into<MetricValue>) -> Self {
+        self.push(name, value);
+        self
+    }
+
+    /// Appends a field.
+    pub fn push(&mut self, name: &'static str, value: impl Into<MetricValue>) {
+        self.fields.push((name, value.into()));
+    }
+
+    /// The row's fields in insertion order.
+    pub fn fields(&self) -> &[(&'static str, MetricValue)] {
+        &self.fields
+    }
+
+    /// Looks up a field by name (first match).
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.fields
+            .iter()
+            .find_map(|(n, v)| (*n == name).then_some(*v))
+    }
+}
+
+/// An append-only time-series of metric rows with machine-readable exports.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    rows: Vec<MetricsRow>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: MetricsRow) {
+        self.rows.push(row);
+    }
+
+    /// The recorded rows in order.
+    pub fn rows(&self) -> &[MetricsRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names: the union of all rows' field names, in first-seen order.
+    pub fn columns(&self) -> Vec<&'static str> {
+        let mut cols: Vec<&'static str> = Vec::new();
+        for row in &self.rows {
+            for (name, _) in row.fields() {
+                if !cols.contains(name) {
+                    cols.push(name);
+                }
+            }
+        }
+        cols
+    }
+
+    /// Exports the series as JSONL: one JSON object per row.
+    ///
+    /// Field names are static identifiers (no escaping needed); non-finite
+    /// floats render as `null`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 96);
+        for row in &self.rows {
+            out.push('{');
+            for (i, (name, value)) in row.fields().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{name}\":");
+                value.write_json(&mut out);
+            }
+            out.push('}');
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the series as CSV with a header row.
+    ///
+    /// The header is [`columns`](Self::columns); rows missing a column emit
+    /// an empty cell, so ragged series stay rectangular.
+    pub fn to_csv(&self) -> String {
+        let cols = self.columns();
+        let mut out = String::with_capacity((self.rows.len() + 1) * 64);
+        out.push_str(&cols.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, col) in cols.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(v) = row.get(col) {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_builder_and_lookup() {
+        let row = MetricsRow::new().with("window", 3u64).with("rate", 0.5f64);
+        assert_eq!(row.get("window"), Some(MetricValue::U64(3)));
+        assert_eq!(row.get("rate"), Some(MetricValue::F64(0.5)));
+        assert_eq!(row.get("missing"), None);
+    }
+
+    #[test]
+    fn jsonl_renders_each_row_as_object() {
+        let mut reg = MetricsRegistry::new();
+        reg.push(MetricsRow::new().with("w", 0u64).with("x", 1.5f64));
+        reg.push(MetricsRow::new().with("w", 1u64).with("x", 2.0f64));
+        let jsonl = reg.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"w":0,"x":1.5}"#);
+        assert_eq!(lines[1], r#"{"w":1,"x":2.0}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_in_json() {
+        let mut reg = MetricsRegistry::new();
+        reg.push(MetricsRow::new().with("bad", f64::NAN));
+        assert_eq!(reg.to_jsonl(), "{\"bad\":null}\n");
+    }
+
+    #[test]
+    fn csv_union_header_and_ragged_rows() {
+        let mut reg = MetricsRegistry::new();
+        reg.push(MetricsRow::new().with("a", 1u64).with("b", 2u64));
+        reg.push(MetricsRow::new().with("a", 3u64).with("c", 4u64));
+        let csv = reg.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b,c");
+        assert_eq!(lines[1], "1,2,");
+        assert_eq!(lines[2], "3,,4");
+    }
+
+    #[test]
+    fn empty_registry_exports_are_minimal() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.to_jsonl(), "");
+        assert_eq!(reg.to_csv(), "\n");
+    }
+}

@@ -41,17 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("hammering {aggressor} 1000 times -> mitigations at ACTs {mitigated_at:?}");
 
-    let stats = hydra.stats();
-    println!(
-        "update breakdown: GCT-only {:.1}%, RCC-hit {:.1}%, RCT-access {:.2}%",
-        stats.gct_only_fraction() * 100.0,
-        stats.rcc_hit_fraction() * 100.0,
-        stats.rct_access_fraction() * 100.0,
-    );
-    println!(
-        "side traffic    : {} DRAM reads + {} writes (group spills + RCC fills/evictions)",
-        stats.side_reads, stats.side_writes
-    );
+    // HydraStats renders as an aligned counter table, with the activation
+    // share of each tracking path (GCT-only / RCC-hit / RCT / reserved).
+    println!("\n{}", hydra.stats());
 
     assert_eq!(mitigated_at, vec![250, 500, 750, 1000]);
     println!("\nTheorem-1 in action: one mitigation per T_H activations. OK");

@@ -9,15 +9,19 @@
 //! hydra list                            # list the 36 workloads
 //! hydra batch [flags]                   # resilient fault-campaign batch run
 //! hydra replay FILE                     # reproduce a failed run from its artifact
+//! hydra bench [--smoke] [flags]         # workload×geometry matrix → BENCH_hydra.json
+//! hydra trace PATTERN [ACTS]            # JSONL telemetry event stream to stdout
 //! ```
 
 use hydra_repro::analysis::faults::{run_case, FaultCaseReport, FaultCaseSpec};
 use hydra_repro::baselines::storage::{Scheme, DDR4_BANKS_PER_RANK};
 use hydra_repro::core::degrade::DegradationPolicy;
 use hydra_repro::core::{Hydra, HydraConfig, HydraStorage};
+use hydra_repro::dram::DramTiming;
 use hydra_repro::faults::FaultPlan;
 use hydra_repro::sim::batch::{BatchConfig, BatchJob, BatchRunner, JobStatus};
-use hydra_repro::sim::ActivationSim;
+use hydra_repro::sim::{run_windowed, ActivationSim, WindowSeries};
+use hydra_repro::telemetry::JsonlSink;
 use hydra_repro::types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
 use hydra_repro::workloads::{registry, AttackPattern, TraceSource, TraceWriter};
 use std::collections::{HashMap, HashSet};
@@ -36,9 +40,11 @@ fn main() -> ExitCode {
         Some("hammer") => cmd_hammer(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay> [args]"
+                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace> [args]"
             );
             eprintln!("  storage                      print the paper's storage tables");
             eprintln!("  list                         list the 36 registered workloads");
@@ -53,6 +59,11 @@ fn main() -> ExitCode {
             eprintln!("        [--watchdog-ms MS] [--retries N] [--force-failure]");
             eprintln!("                               fault campaign under the batch harness");
             eprintln!("  replay <file>                reproduce a run from its replay artifact");
+            eprintln!("  bench [--smoke] [--out FILE] [--acts N]");
+            eprintln!(
+                "                               throughput/slowdown matrix → BENCH_hydra.json"
+            );
+            eprintln!("  trace <pattern> [acts]       stream telemetry events as JSONL");
             return ExitCode::from(2);
         }
     };
@@ -164,8 +175,9 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_pattern(name: &str) -> Result<AttackPattern, String> {
-    let victim = RowAddr::new(0, 0, 1, 50_000);
+fn parse_pattern(name: &str, geom: MemGeometry) -> Result<AttackPattern, String> {
+    // Mid-bank victim: blast-radius neighbors exist in any geometry.
+    let victim = RowAddr::new(0, 0, 1, geom.rows_per_bank() / 2);
     Ok(match name {
         "single_sided" => AttackPattern::SingleSided { aggressor: victim },
         "double_sided" => AttackPattern::DoubleSided { victim },
@@ -183,11 +195,11 @@ fn parse_pattern(name: &str) -> Result<AttackPattern, String> {
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {
-    let pattern = parse_pattern(args.first().ok_or("audit needs a pattern")?)?;
+    let geom = MemGeometry::isca22_baseline();
+    let pattern = parse_pattern(args.first().ok_or("audit needs a pattern")?, geom)?;
     let acts: u64 = args
         .get(1)
         .map_or(Ok(200_000), |s| s.parse().map_err(|_| "bad act count"))?;
-    let geom = MemGeometry::isca22_baseline();
     let hydra = Hydra::isca22_default(geom, 0).map_err(|e| e.to_string())?;
     let t_h = hydra.config().t_h;
     let mut sim = ActivationSim::new(geom, hydra);
@@ -264,15 +276,10 @@ fn cmd_hammer(args: &[String]) -> Result<(), String> {
             mitigated_at.push(i);
         }
     }
-    let stats = hydra.stats();
     println!("hammered {row} {acts} times");
     println!("mitigations at ACTs {mitigated_at:?}");
-    println!(
-        "breakdown: GCT-only {:.1}%, RCC-hit {:.1}%, RCT {:.2}%",
-        stats.gct_only_fraction() * 100.0,
-        stats.rcc_hit_fraction() * 100.0,
-        stats.rct_access_fraction() * 100.0
-    );
+    println!();
+    print!("{}", hydra.stats());
     Ok(())
 }
 
@@ -401,6 +408,299 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             report.failed()
         ))
     }
+}
+
+/// One `hydra bench` matrix cell: simulated slowdown and wall-clock
+/// throughput, in a machine-readable row of `BENCH_hydra.json`.
+#[derive(Debug, Clone)]
+struct BenchCell {
+    workload: String,
+    geometry: String,
+    acts: u64,
+    wall_secs: f64,
+    acts_per_sec: f64,
+    bandwidth_inflation: f64,
+    slowdown_pct: f64,
+    windows: u64,
+    mitigations: u64,
+    delta_sum_ok: bool,
+}
+
+impl BenchCell {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"geometry\":\"{}\",\"acts\":{},",
+                "\"wall_secs\":{:.6},\"acts_per_sec\":{:.1},",
+                "\"bandwidth_inflation\":{:.6},\"slowdown_pct\":{:.3},",
+                "\"windows\":{},\"mitigations\":{},\"delta_sum_ok\":{}}}"
+            ),
+            self.workload,
+            self.geometry,
+            self.acts,
+            self.wall_secs,
+            self.acts_per_sec,
+            self.bandwidth_inflation,
+            self.slowdown_pct,
+            self.windows,
+            self.mitigations,
+            self.delta_sum_ok,
+        )
+    }
+}
+
+fn bench_geometry(name: &str) -> Result<MemGeometry, String> {
+    match name {
+        "tiny" => Ok(MemGeometry::tiny()),
+        "isca22" => Ok(MemGeometry::isca22_baseline()),
+        other => Err(format!("unknown geometry {other}")),
+    }
+}
+
+/// One bench cell run under the batch harness (panic isolation, watchdog,
+/// retries), so a wedged cell cannot take the whole matrix down.
+struct BenchCellJob {
+    workload: String,
+    geometry: String,
+    acts: u64,
+    seed: u64,
+}
+
+impl BatchJob for BenchCellJob {
+    type Output = BenchCell;
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.workload, self.geometry)
+    }
+
+    fn run(&self, _attempt: u32) -> Result<BenchCell, String> {
+        let geom = bench_geometry(&self.geometry)?;
+        let tracker = Hydra::isca22_default(geom, 0).map_err(|e| e.to_string())?;
+        // Shrink the refresh window so even a short run crosses several
+        // window boundaries and exercises the reset + snapshot path.
+        let timing = DramTiming::ddr4_3200().with_scaled_window(1_000);
+        let mut sim = ActivationSim::new(geom, tracker).with_timing(timing);
+        // A cell is either a registered workload or an attack pattern; the
+        // attack cells are what make slowdown and mitigations nonzero.
+        let rows: Vec<RowAddr> = if let Some(spec) = registry::by_name(&self.workload) {
+            let mut trace = spec.build(geom, 256, self.seed);
+            (0..self.acts)
+                .map(|_| geom.row_of_line(trace.next_op().addr))
+                .collect()
+        } else {
+            let mut rows = parse_pattern(&self.workload, geom)?.rows(geom);
+            (0..self.acts)
+                .map(|_| {
+                    let mut row = rows.next_row();
+                    row.channel = 0;
+                    row
+                })
+                .collect()
+        };
+
+        let mut series = WindowSeries::new();
+        let start = std::time::Instant::now();
+        let report = run_windowed(&mut sim, rows, &mut series);
+        let wall_secs = start.elapsed().as_secs_f64();
+
+        let delta_sum_ok = series.total() == sim.tracker().stats();
+        let inflation = report.bandwidth_inflation();
+        Ok(BenchCell {
+            workload: self.workload.clone(),
+            geometry: self.geometry.clone(),
+            acts: self.acts,
+            wall_secs,
+            acts_per_sec: self.acts as f64 / wall_secs.max(1e-9),
+            bandwidth_inflation: inflation,
+            slowdown_pct: (inflation - 1.0) * 100.0,
+            windows: report.window_resets,
+            mitigations: report.mitigations,
+            delta_sum_ok,
+        })
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn bench_json(smoke: bool, acts: u64, cells: &[BenchCell], failures: &[String]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"schema\":\"hydra-bench-v1\",");
+    let _ = write!(
+        out,
+        "\"smoke\":{smoke},\"acts_per_cell\":{acts},\"cells\":["
+    );
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&cell.to_json());
+    }
+    out.push_str("],\"failures\":[");
+    for (i, f) in failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", json_escape(f));
+    }
+    let mean_aps = if cells.is_empty() {
+        0.0
+    } else {
+        cells.iter().map(|c| c.acts_per_sec).sum::<f64>() / cells.len() as f64
+    };
+    let max_slowdown = cells.iter().map(|c| c.slowdown_pct).fold(0.0f64, f64::max);
+    let all_delta_ok = cells.iter().all(|c| c.delta_sum_ok);
+    let _ = write!(
+        out,
+        concat!(
+            "],\"summary\":{{\"cells\":{},\"ok\":{},\"failed\":{},",
+            "\"mean_acts_per_sec\":{:.1},\"max_slowdown_pct\":{:.3},",
+            "\"all_delta_sums_ok\":{}}}}}"
+        ),
+        cells.len() + failures.len(),
+        cells.len(),
+        failures.len(),
+        mean_aps,
+        max_slowdown,
+        all_delta_ok,
+    );
+    out
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_hydra.json");
+    let mut acts_override: Option<u64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).ok_or("--out needs a value")?);
+            }
+            "--acts" => {
+                i += 1;
+                acts_override = Some(
+                    args.get(i)
+                        .ok_or("--acts needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --acts")?,
+                );
+            }
+            other => return Err(format!("unknown bench flag {other}")),
+        }
+        i += 1;
+    }
+
+    let (workloads, geometries): (&[&str], &[&str]) = if smoke {
+        (&["gups", "mcf", "double_sided"], &["tiny"])
+    } else {
+        (
+            &["gups", "mcf", "stream", "lbm", "double_sided", "many_sided"],
+            &["tiny", "isca22"],
+        )
+    };
+    let acts = acts_override.unwrap_or(if smoke { 20_000 } else { 200_000 });
+
+    let mut jobs = Vec::new();
+    for w in workloads {
+        for g in geometries {
+            jobs.push(BenchCellJob {
+                workload: (*w).to_string(),
+                geometry: (*g).to_string(),
+                acts,
+                seed: 42,
+            });
+        }
+    }
+    let total = jobs.len();
+    println!(
+        "bench: {total} cell(s), {acts} acts each → {}",
+        out.display()
+    );
+
+    let runner = BatchRunner::new(BatchConfig {
+        retries: 1,
+        backoff_base: Duration::from_millis(50),
+        watchdog: Duration::from_secs(300),
+        artifact_dir: None,
+    });
+    let report = runner.run(jobs);
+
+    let mut cells: Vec<BenchCell> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for job in &report.jobs {
+        match (&job.status, &job.output) {
+            (JobStatus::Succeeded { .. }, Some(cell)) => {
+                println!(
+                    "  {:<16} {:>12.0} acts/s  slowdown {:>8.3}%  windows {:>4}  delta-sum {}",
+                    job.label,
+                    cell.acts_per_sec,
+                    cell.slowdown_pct,
+                    cell.windows,
+                    if cell.delta_sum_ok { "ok" } else { "VIOLATED" },
+                );
+                if !cell.delta_sum_ok {
+                    failures.push(format!(
+                        "{}: window delta sum != cumulative stats",
+                        job.label
+                    ));
+                }
+                cells.push(cell.clone());
+            }
+            (status, _) => {
+                let detail = match status {
+                    JobStatus::Failed { last_error, .. } => last_error.clone(),
+                    JobStatus::TimedOut { .. } => "watchdog timeout".to_string(),
+                    JobStatus::Succeeded { .. } => "succeeded without output".to_string(),
+                };
+                println!("  {:<16} FAILED: {detail}", job.label);
+                failures.push(format!("{}: {detail}", job.label));
+            }
+        }
+    }
+
+    let json = bench_json(smoke, acts, &cells, &failures);
+    std::fs::write(&out, &json).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("bench: wrote {}", out.display());
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} bench cell(s) failed", failures.len()))
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let geom = MemGeometry::isca22_baseline();
+    let pattern = parse_pattern(args.first().ok_or("trace needs a pattern")?, geom)?;
+    let acts: u64 = args
+        .get(1)
+        .map_or(Ok(2_000), |s| s.parse().map_err(|_| "bad act count"))?;
+    let config = HydraConfig::isca22_default(geom, 0).map_err(|e| e.to_string())?;
+    let tracker =
+        Hydra::with_probe(config, JsonlSink::with_limit(1_000_000)).map_err(|e| e.to_string())?;
+    let mut sim = ActivationSim::new(geom, tracker);
+    let mut rows = pattern.rows(geom);
+    for _ in 0..acts {
+        let mut row = rows.next_row();
+        row.channel = 0;
+        sim.activate(row);
+    }
+    let sink = sim.into_tracker().into_probe();
+    print!("{}", sink.as_str());
+    if sink.truncated() > 0 {
+        eprintln!(
+            "trace: {} event(s) on stdout, {} truncated past the cap",
+            sink.written(),
+            sink.truncated()
+        );
+    } else {
+        eprintln!("trace: {} event(s) on stdout", sink.written());
+    }
+    Ok(())
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {

@@ -10,6 +10,7 @@
 //! * [`dram`] — DDR4 device timing, refresh and power models
 //! * [`faults`] — deterministic fault injection around the tracker
 //! * [`sim`] — memory controller, LLC, core model, system simulator, batch harness
+//! * [`telemetry`] — event tracing seam, metric time-series, JSONL/CSV export
 //! * [`workloads`] — synthetic workload and attack-pattern generators
 
 #![forbid(unsafe_code)]
@@ -20,5 +21,6 @@ pub use hydra_core as core;
 pub use hydra_dram as dram;
 pub use hydra_faults as faults;
 pub use hydra_sim as sim;
+pub use hydra_telemetry as telemetry;
 pub use hydra_types as types;
 pub use hydra_workloads as workloads;
