@@ -25,6 +25,13 @@
 //!   takes the routing decision away from the caller. Return strings,
 //!   accept callbacks, or use the telemetry sinks instead. Binaries,
 //!   examples, benches and test modules are exempt.
+//! * **`schema-single-source`** — each wire-format schema version literal
+//!   (`hydra-trace-v1`, `hydra-forensics-v1`, `hydra-bench-v1`) may be
+//!   spelled out in at most one library file: the one that defines its
+//!   `*_SCHEMA_VERSION` constant. Everywhere else must import the constant,
+//!   so a schema bump is one edit, not a scavenger hunt. Doc comments and
+//!   test modules (which assert the literal wire format on purpose) are
+//!   exempt, as is this module's own rule table.
 //!
 //! The scanner is line-based: string literals are blanked and `//` comments
 //! stripped before matching, and `#[cfg(test)]` modules are tracked by brace
@@ -45,7 +52,7 @@ pub struct LintDiagnostic {
     /// 1-based line number (0 = whole file).
     pub line: usize,
     /// Rule identifier (`forbid-unsafe`, `no-unwrap`, `doc-consistency`,
-    /// `catch-unwind-layer`, `no-println`).
+    /// `catch-unwind-layer`, `no-println`, `schema-single-source`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -63,6 +70,23 @@ impl fmt::Display for LintDiagnostic {
         )
     }
 }
+
+/// The wire-format schema literals governed by `schema-single-source`,
+/// paired with the re-exported constant that is their single source of
+/// truth. This table is the one place outside the defining files allowed
+/// to spell the literals out (see [`is_schema_registry`]).
+const SCHEMA_LITERALS: [(&str, &str); 3] = [
+    ("hydra-trace-v1", "hydra_telemetry::TRACE_SCHEMA_VERSION"),
+    (
+        "hydra-forensics-v1",
+        "hydra_forensics::INCIDENT_SCHEMA_VERSION",
+    ),
+    ("hydra-bench-v1", "hydra_forensics::BENCH_SCHEMA_VERSION"),
+];
+
+/// A non-test code site where a schema literal was spelled out:
+/// (index into [`SCHEMA_LITERALS`], file, 1-based line).
+type SchemaSite = (usize, PathBuf, usize);
 
 /// Lints the workspace rooted at `root`. Returns all findings (empty =
 /// clean).
@@ -114,9 +138,37 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintDiagnostic>> {
     lib_files.retain(|p| !p.components().any(|c| c.as_os_str() == "bin"));
     lib_files.sort();
 
+    let mut schema_sites: Vec<SchemaSite> = Vec::new();
     for file in &lib_files {
         let text = fs::read_to_string(file)?;
-        lint_library_source(file, &text, &mut diagnostics);
+        lint_library_source(file, &text, &mut diagnostics, &mut schema_sites);
+    }
+
+    // Rule: schema-single-source — settle across files. A literal spelled
+    // out in more than one library file means a schema bump would have to
+    // find every copy; flag every site so the fix is obvious.
+    for (k, (literal, constant)) in SCHEMA_LITERALS.iter().enumerate() {
+        let mut files: Vec<&Path> = Vec::new();
+        for (idx, file, _) in &schema_sites {
+            if *idx == k && !files.contains(&file.as_path()) {
+                files.push(file);
+            }
+        }
+        if files.len() > 1 {
+            for (idx, file, line) in &schema_sites {
+                if *idx == k {
+                    diagnostics.push(LintDiagnostic {
+                        file: file.clone(),
+                        line: *line,
+                        rule: "schema-single-source",
+                        message: format!(
+                            "schema literal \"{literal}\" is spelled out in {} library files; define it once and import {constant} everywhere else",
+                            files.len()
+                        ),
+                    });
+                }
+            }
+        }
     }
 
     Ok(diagnostics)
@@ -138,8 +190,15 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Applies the `no-unwrap` and `doc-consistency` rules to one library file.
-fn lint_library_source(file: &Path, text: &str, diagnostics: &mut Vec<LintDiagnostic>) {
+/// Applies the per-line rules to one library file, and collects
+/// `schema-single-source` sites into `schema_sites` for cross-file
+/// settlement by the caller.
+fn lint_library_source(
+    file: &Path,
+    text: &str,
+    diagnostics: &mut Vec<LintDiagnostic>,
+    schema_sites: &mut Vec<SchemaSite>,
+) {
     let mut depth: i32 = 0;
     // Brace depth at which a #[cfg(test)] mod body started; we are in test
     // code while depth > that value.
@@ -174,6 +233,20 @@ fn lint_library_source(file: &Path, text: &str, diagnostics: &mut Vec<LintDiagno
 
         let in_test = test_mod_depth.is_some();
         let in_build = build_fn_depth.is_some();
+
+        // Rule: schema-single-source (collection pass). The literals live
+        // *inside* strings, which `strip_strings_and_comments` blanks, so
+        // this rule matches on comment-stripped text with strings intact.
+        // Test modules legitimately assert the raw wire format and are
+        // exempt, as is the rule table in this very module.
+        if !in_test && !is_schema_registry(file) {
+            let code_with_strings = strip_comments_keeping_strings(raw_line);
+            for (k, (literal, _)) in SCHEMA_LITERALS.iter().enumerate() {
+                if code_with_strings.contains(literal) {
+                    schema_sites.push((k, file.to_path_buf(), lineno));
+                }
+            }
+        }
 
         // Rule: catch-unwind-layer — panic containment is the batch
         // harness's exclusive privilege, test modules included (the
@@ -295,6 +368,42 @@ fn lint_library_source(file: &Path, text: &str, diagnostics: &mut Vec<LintDiagno
             recent_docs.clear();
         }
     }
+}
+
+/// True for the lint module itself (`crates/analysis/src/lint.rs`), whose
+/// [`SCHEMA_LITERALS`] rule table necessarily names every schema literal
+/// and is therefore excluded from the `schema-single-source` scan.
+fn is_schema_registry(file: &Path) -> bool {
+    let mut tail = file.components().rev().map(|c| c.as_os_str());
+    tail.next().is_some_and(|c| c == "lint.rs")
+        && tail.next().is_some_and(|c| c == "src")
+        && tail.next().is_some_and(|c| c == "analysis")
+}
+
+/// Strips a trailing `//` comment but keeps string-literal contents — the
+/// inverse trade-off from [`strip_strings_and_comments`], needed by the
+/// `schema-single-source` rule whose needles live inside strings.
+fn strip_comments_keeping_strings(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '/' if line[i + 1..].starts_with('/') => return &line[..i],
+            _ => {}
+        }
+    }
+    line
 }
 
 /// True for the one file allowed to contain `catch_unwind`: the batch
@@ -567,6 +676,75 @@ mod tests {
             "use std::fmt::Write as _;\npub fn f(out: &mut String) {\n    // println!(\"this is a comment\")\n    let _ = writeln!(out, \"fine\");\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        println!(\"test output is fine\");\n    }\n}\n",
         );
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_schema_literals_defined_in_two_files() {
+        let root = scratch_dir("schemadup");
+        fs::create_dir_all(root.join("crates/a/src")).unwrap();
+        fs::create_dir_all(root.join("crates/b/src")).unwrap();
+        fs::write(root.join("src/lib.rs"), "#![forbid(unsafe_code)]\n").unwrap();
+        fs::write(
+            root.join("crates/a/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub const V: &str = \"hydra-bench-v1\";\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("crates/b/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn schema() -> &'static str { \"hydra-bench-v1\" }\n",
+        )
+        .unwrap();
+        let diags = lint_workspace(&root).unwrap();
+        let _ = fs::remove_dir_all(&root);
+        let schema: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "schema-single-source")
+            .collect();
+        assert_eq!(
+            schema.len(),
+            2,
+            "one diagnostic per duplicate site: {diags:?}"
+        );
+        assert!(schema[0].message.contains("hydra-bench-v1"));
+        assert!(schema[0].message.contains("BENCH_SCHEMA_VERSION"));
+    }
+
+    #[test]
+    fn allows_one_schema_definition_with_test_and_doc_copies() {
+        // One defining file; its own cfg(test) module and doc comments may
+        // repeat the literal (they assert/describe the wire format).
+        let diags = lint_one(
+            "schemaok",
+            concat!(
+                "/// Emits `hydra-trace-v1` headers.\n",
+                "pub const TRACE_SCHEMA_VERSION: &str = \"hydra-trace-v1\";\n",
+                "#[cfg(test)]\n",
+                "mod tests {\n",
+                "    #[test]\n",
+                "    fn t() {\n",
+                "        assert_eq!(super::TRACE_SCHEMA_VERSION, \"hydra-trace-v1\");\n",
+                "    }\n",
+                "}\n",
+            ),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn comment_stripping_keeps_strings_intact() {
+        assert_eq!(
+            strip_comments_keeping_strings("let s = \"hydra-bench-v1\"; // note"),
+            "let s = \"hydra-bench-v1\"; "
+        );
+        // A `//` inside a string is content, not a comment.
+        assert_eq!(
+            strip_comments_keeping_strings("let u = \"http://x\";"),
+            "let u = \"http://x\";"
+        );
+        assert_eq!(
+            strip_comments_keeping_strings("let e = \"a\\\"b\"; // tail"),
+            "let e = \"a\\\"b\"; "
+        );
     }
 
     #[test]

@@ -108,6 +108,15 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
         self.entries.contains_key(item)
     }
 
+    /// Iterates over the tracked `(item, count)` pairs in arbitrary order.
+    ///
+    /// Counts carry the usual Misra-Gries over-approximation (up to
+    /// [`Self::spillover`] phantom occurrences); heavy-hitter consumers
+    /// like the forensics attribution engine sort and threshold these.
+    pub fn entries(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.entries.iter().map(|(k, &c)| (k, c))
+    }
+
     /// Sets a tracked item's count (used by Graphene after mitigation: the
     /// count restarts from the spillover floor so the estimate invariant is
     /// preserved for the *post-mitigation* true count of zero).
@@ -183,6 +192,18 @@ mod tests {
         mg.increment(&"other"); // spillover -> 1
         mg.reset_item(&"hot");
         assert_eq!(mg.estimate(&"hot"), mg.spillover());
+    }
+
+    #[test]
+    fn entries_exposes_tracked_pairs() {
+        let mut mg = MisraGries::new(4);
+        for _ in 0..3 {
+            mg.increment(&"hot");
+        }
+        mg.increment(&"cold");
+        let mut pairs: Vec<(&str, u64)> = mg.entries().map(|(k, c)| (*k, c)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![("cold", 1), ("hot", 3)]);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod config;
 pub mod degrade;
 pub mod gct;
 pub mod indexing;
+pub mod near_miss;
 pub mod rcc;
 pub mod rct;
 pub mod rit;
@@ -65,6 +66,7 @@ pub use config::{HydraConfig, HydraConfigBuilder};
 pub use degrade::{DegradationPolicy, HealthReport};
 pub use gct::{GctOutcome, GroupCountTable};
 pub use indexing::GroupIndexer;
+pub use near_miss::{NearMissMonitor, NearMissObservation, NEAR_MISS_BUCKETS};
 pub use rcc::{RccEntry, RowCountCache};
 pub use rct::{RctBackend, RowCountTable};
 pub use rit::RitActTable;

@@ -29,7 +29,9 @@ macro_rules! for_each_stat {
             parity_errors,
             degraded_reinits,
             degraded_refreshes,
-            degraded_probabilistic
+            degraded_probabilistic,
+            near_misses,
+            watermark_advances
         );
     };
 }
@@ -69,6 +71,18 @@ pub struct HydraStats {
     pub degraded_refreshes: u64,
     /// Extra PARA-style mitigations issued for degraded row-groups.
     pub degraded_probabilistic: u64,
+    /// Per-row count observations that landed in the near-miss band
+    /// `[T_H - max(1, T_H/8), T_H)` without triggering a mitigation —
+    /// how often rows came within 12.5 % of the threshold and stopped.
+    ///
+    /// Monotonic counter (per-window delta-sum safe); the current
+    /// watermark value and histogram live in
+    /// [`crate::near_miss::NearMissMonitor`].
+    pub near_misses: u64,
+    /// Times an unmitigated per-row count observation raised the
+    /// max-count watermark for the current window (monotonic counter; the
+    /// watermark *value* is in [`crate::near_miss::NearMissMonitor`]).
+    pub watermark_advances: u64,
 }
 
 macro_rules! stat_field_methods {
@@ -106,7 +120,7 @@ macro_rules! stat_field_methods {
 
 impl HydraStats {
     /// Number of counter fields (length of [`HydraStats::FIELD_NAMES`]).
-    pub const FIELD_COUNT: usize = 15;
+    pub const FIELD_COUNT: usize = 17;
 
     for_each_stat!(stat_field_methods);
 
@@ -231,12 +245,16 @@ mod tests {
         let s = HydraStats {
             activations: 1,
             degraded_probabilistic: 15,
+            near_misses: 16,
+            watermark_advances: 17,
             ..Default::default()
         };
         let fields = s.fields();
         assert_eq!(fields.len(), HydraStats::FIELD_COUNT);
         assert_eq!(fields[0], ("activations", 1));
         assert_eq!(fields[14], ("degraded_probabilistic", 15));
+        assert_eq!(fields[15], ("near_misses", 16));
+        assert_eq!(fields[16], ("watermark_advances", 17));
         for (i, (name, _)) in fields.iter().enumerate() {
             assert_eq!(*name, HydraStats::FIELD_NAMES[i]);
         }

@@ -3,6 +3,7 @@
 use crate::config::HydraConfig;
 use crate::degrade::{DegradeState, HealthReport, ReadVerdict};
 use crate::gct::{GctOutcome, GroupCountTable};
+use crate::near_miss::NearMissMonitor;
 use crate::rcc::RowCountCache;
 use crate::rct::{RctBackend, RowCountTable};
 use crate::rit::RitActTable;
@@ -42,6 +43,7 @@ pub struct Hydra<R: RctBackend = RowCountTable, P: EventSink = NoopSink> {
     rit: RitActTable,
     degrade: DegradeState,
     stats: HydraStats,
+    near: NearMissMonitor,
     rows_per_group: u64,
     windows: u64,
     probe: P,
@@ -136,6 +138,7 @@ impl<R: RctBackend, P: EventSink> Hydra<R, P> {
             rit,
             degrade,
             stats: HydraStats::default(),
+            near: NearMissMonitor::new(config.t_h),
             rows_per_group: config.rows_per_group(),
             windows: 0,
             probe,
@@ -168,6 +171,13 @@ impl<R: RctBackend, P: EventSink> Hydra<R, P> {
     /// Cumulative event counters (drives Fig. 6).
     pub fn stats(&self) -> HydraStats {
         self.stats
+    }
+
+    /// The near-miss monitor: watermark and histogram of how close rows
+    /// came to `T_H` without mitigating (the counters are mirrored into
+    /// [`HydraStats::near_misses`] / [`HydraStats::watermark_advances`]).
+    pub fn near_miss(&self) -> &NearMissMonitor {
+        &self.near
     }
 
     /// A point-in-time summary of the degradation layer (parity detections
@@ -248,15 +258,25 @@ impl<R: RctBackend, P: EventSink> Hydra<R, P> {
                 // Case 2: RCC hit — update in place.
                 *count += 1;
                 self.stats.rcc_hits += 1;
-                let mitigate = *count >= t_h;
+                let observed = *count;
+                let mitigate = observed >= t_h;
                 if mitigate {
                     *count = 0;
                     self.stats.mitigations += 1;
                     response.mitigations.push(MitigationRequest::new(row));
                 }
                 self.probe.emit(now, TelemetryEvent::RccHit { slot });
+                self.probe.emit(
+                    now,
+                    TelemetryEvent::RctAccess {
+                        row,
+                        count: observed,
+                    },
+                );
                 if mitigate {
                     self.probe.emit(now, TelemetryEvent::Mitigation { row });
+                } else {
+                    self.observe_near_miss(observed);
                 }
                 return;
             }
@@ -299,11 +319,15 @@ impl<R: RctBackend, P: EventSink> Hydra<R, P> {
                 }
             }
         };
+        self.probe
+            .emit(now, TelemetryEvent::RctAccess { row, count });
         if count >= t_h {
             count = 0;
             self.stats.mitigations += 1;
             response.mitigations.push(MitigationRequest::new(row));
             self.probe.emit(now, TelemetryEvent::Mitigation { row });
+        } else {
+            self.observe_near_miss(count);
         }
 
         if self.config.use_rcc {
@@ -339,6 +363,18 @@ impl<R: RctBackend, P: EventSink> Hydra<R, P> {
             response
                 .side_requests
                 .push(SideRequest::write(self.rct.dram_row_of_slot(slot)));
+        }
+    }
+
+    /// Feeds an unmitigated per-row count into the near-miss monitor and
+    /// mirrors its outcome into the [`HydraStats`] counters.
+    fn observe_near_miss(&mut self, count: u32) {
+        let obs = self.near.observe(count);
+        if obs.near_miss {
+            self.stats.near_misses += 1;
+        }
+        if obs.advanced {
+            self.stats.watermark_advances += 1;
         }
     }
 
@@ -465,6 +501,7 @@ impl<R: RctBackend, P: EventSink> ActivationTracker for Hydra<R, P> {
         self.gct.reset();
         self.rcc.reset();
         self.rit.reset();
+        self.near.reset_window();
         self.windows += 1;
         self.stats.window_resets += 1;
         self.probe.emit(
@@ -846,6 +883,41 @@ mod tests {
             + s.rct_access_fraction()
             + s.reserved_fraction();
         assert!((fractions - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_miss_watermark_tracks_hot_row_headroom() {
+        // T_H = 16, band = [14, 16). Hammer one row to 15 and stop: the
+        // run ends one act short of a mitigation — the definition of a
+        // near miss.
+        let mut h = small();
+        let row = RowAddr::new(0, 0, 0, 5);
+        for _ in 0..15 {
+            act(&mut h, row);
+        }
+        let s = h.stats();
+        assert_eq!(s.mitigations, 0);
+        let m = h.near_miss();
+        assert_eq!(m.max_watermark(), 15, "count stopped at T_H - 1");
+        assert_eq!(m.window_watermark(), 15);
+        // Counts 14 and 15 fall in the band.
+        assert_eq!(s.near_misses, 2);
+        assert_eq!(m.near_miss_total(), 2);
+        assert!(m.headroom() < 0.07);
+        // Per-row counts seen: 12 (spill install), 13, 14, 15 — each a
+        // fresh watermark.
+        assert_eq!(s.watermark_advances, 4);
+        // A mitigation is not a near miss: one more act crosses T_H and
+        // the histogram stays put.
+        let resp = act(&mut h, row);
+        assert_eq!(resp.mitigations.len(), 1);
+        assert_eq!(h.stats().near_misses, 2);
+        assert_eq!(h.near_miss().max_watermark(), 15);
+        // Window reset clears the window watermark but keeps the all-time
+        // one (and the monotonic counters).
+        h.reset_window(0);
+        assert_eq!(h.near_miss().window_watermark(), 0);
+        assert_eq!(h.near_miss().max_watermark(), 15);
     }
 
     #[test]

@@ -106,6 +106,12 @@ proptest! {
         );
         // Every RCC miss leads to exactly one RCT read.
         prop_assert_eq!(sink.count(EventKind::RccMiss), sink.count(EventKind::RctRead));
+        // Exactly one row-keyed RctAccess per per-row-path activation
+        // (the attribution seam used by hydra-forensics).
+        prop_assert_eq!(
+            sink.count(EventKind::RctAccess),
+            stats.rcc_hits + stats.rct_accesses
+        );
         // Writeback is on by default: every eviction writes the RCT once,
         // and spills account for the remaining side writes.
         prop_assert_eq!(sink.count(EventKind::RccEvict), sink.count(EventKind::RctWrite));

@@ -1,0 +1,516 @@
+//! The per-window attack-pattern classifier.
+//!
+//! Fuses three independent signal families, all gathered online by the
+//! [`ForensicsProbe`](crate::ForensicsProbe):
+//!
+//! 1. **Heavy hitters** from the attribution engine — which rows dominated
+//!    the per-row path, and how hard;
+//! 2. **Mitigation evidence** — mitigations fired, or a row's observed
+//!    count came within [`ClassifierConfig::near_threshold_fraction`] of
+//!    `T_H`;
+//! 3. **Path-mix signals** — the GCT-only / per-row split and the
+//!    group-spill count, which expose *decoy* patterns (Blacksmith-style
+//!    thrash traffic designed to exhaust the RCC/GCT without any single
+//!    row approaching `T_H`).
+//!
+//! Decision procedure, per window (first match wins):
+//!
+//! | label | rule |
+//! |---|---|
+//! | `quiet` | fewer than `min_activations` activations |
+//! | `decoy_heavy` | per-row share ≥ `decoy_per_row_share`, spills ≥ `decoy_min_spills`, top-4 concentration ≤ `decoy_top_share`, and RCC evictions ≥ `decoy_evict_ratio` of per-row accesses |
+//! | `single_sided` | attack evidence and one aggressor holds ≥ `dominant_share` of heavy mass |
+//! | `double_sided` | attack evidence, ≤ 4 aggressors in one bank spanning ≤ `cluster_span` rows (covers the classic pair, the sandwiched victim, and half-double's heavy+light cluster) |
+//! | `many_sided` | attack evidence, any other aggressor geometry |
+//! | `benign` | everything else |
+//!
+//! The decoy check runs *before* the aggressor shapes: a tracker-thrash
+//! flood inevitably pushes a few spilled rows over `T_H` (group spills
+//! initialize whole groups at `T_G`), and those stray mitigations must
+//! not let a 4096-row sweep masquerade as a focused many-sided attack.
+//! The flat-distribution condition (`decoy_top_share`) keeps real focused
+//! attacks out of the decoy branch.
+//!
+//! "Attack evidence" means mitigations fired this window, or the maximum
+//! observed per-row count reached `near_threshold_fraction · T_H`.
+//! Aggressor candidates are heavy hitters with estimate ≥
+//! `heavy_fraction · T_H` plus any actually-mitigated rows; candidates
+//! whose estimate falls below `aggressor_mass_fraction` of the hottest
+//! row's are then dropped — mitigation-refresh feedback gives victim rows
+//! real (but comparatively tiny) activation counts, and without the
+//! relative cut those victims would smear a clean pair into "many-sided".
+//! The thresholds are relative to `T_H`, so one config serves every design
+//! point; defaults are validated against every generator in
+//! `hydra-workloads::attacks` and the benign SPEC mixes (see
+//! `tests/classifier_fixtures.rs`).
+
+use hydra_types::RowAddr;
+
+/// What a window's traffic looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackClass {
+    /// Too little traffic to say anything.
+    Quiet,
+    /// Ordinary traffic: no row approached `T_H`, no decoy signature.
+    Benign,
+    /// One dominant aggressor row driven toward `T_H`.
+    SingleSided,
+    /// A tight same-bank cluster of aggressors (classic ±1 pair, the
+    /// sandwiched victim it feeds, or half-double's heavy+light cluster).
+    DoubleSided,
+    /// Three or more spread-out aggressors (Blacksmith-style many-sided).
+    ManySided,
+    /// No near-threshold row, but a per-row-path flood with flat row
+    /// distribution and heavy spilling — decoy traffic attacking the
+    /// tracker's caches rather than a victim row.
+    DecoyHeavy,
+}
+
+impl AttackClass {
+    /// True for the classes that should raise an incident.
+    pub fn is_attack(self) -> bool {
+        matches!(
+            self,
+            AttackClass::SingleSided
+                | AttackClass::DoubleSided
+                | AttackClass::ManySided
+                | AttackClass::DecoyHeavy
+        )
+    }
+
+    /// Stable snake_case label used in incident records.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackClass::Quiet => "quiet",
+            AttackClass::Benign => "benign",
+            AttackClass::SingleSided => "single_sided",
+            AttackClass::DoubleSided => "double_sided",
+            AttackClass::ManySided => "many_sided",
+            AttackClass::DecoyHeavy => "decoy_heavy",
+        }
+    }
+
+    /// Severity rank for picking a run's dominant class (higher = worse).
+    pub fn severity(self) -> u8 {
+        match self {
+            AttackClass::Quiet => 0,
+            AttackClass::Benign => 1,
+            AttackClass::DecoyHeavy => 2,
+            AttackClass::SingleSided => 3,
+            AttackClass::DoubleSided => 4,
+            AttackClass::ManySided => 5,
+        }
+    }
+}
+
+/// Classifier thresholds, all relative to the tracker's `T_H`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifierConfig {
+    /// The tracker's per-row mitigation threshold.
+    pub t_h: u32,
+    /// Windows with fewer activations than this are `quiet`.
+    pub min_activations: u64,
+    /// A row is an aggressor candidate when its estimate reaches this
+    /// fraction of `t_h`.
+    pub heavy_fraction: f64,
+    /// Aggressor candidates below this fraction of the hottest candidate's
+    /// estimate are dropped (filters mitigation-refresh feedback victims
+    /// out of the aggressor geometry).
+    pub aggressor_mass_fraction: f64,
+    /// Attack evidence without a mitigation: max observed count reaches
+    /// this fraction of `t_h`.
+    pub near_threshold_fraction: f64,
+    /// One aggressor holding this share of the heavy mass is single-sided.
+    pub dominant_share: f64,
+    /// Same-bank aggressor clusters spanning at most this many rows are
+    /// the double-sided family.
+    pub cluster_span: u32,
+    /// Decoy rule: minimum fraction of activations on the per-row path.
+    pub decoy_per_row_share: f64,
+    /// Decoy rule: maximum share of per-row events on the top-4 rows.
+    pub decoy_top_share: f64,
+    /// Decoy rule: minimum group spills in the window.
+    pub decoy_min_spills: u64,
+    /// Decoy rule: minimum RCC evictions as a fraction of per-row
+    /// accesses. This is the load-bearing thrash discriminator: decoy
+    /// traffic drives a working set far beyond the RCC so most fills
+    /// evict, while benign row sets (even flat ones that spill their
+    /// groups) mostly fit and re-hit.
+    pub decoy_evict_ratio: f64,
+}
+
+impl ClassifierConfig {
+    /// Default thresholds for a tracker with per-row threshold `t_h`.
+    pub fn for_threshold(t_h: u32) -> Self {
+        ClassifierConfig {
+            t_h: t_h.max(1),
+            min_activations: 64,
+            heavy_fraction: 0.5,
+            aggressor_mass_fraction: 0.1,
+            near_threshold_fraction: 0.9,
+            dominant_share: 0.75,
+            cluster_span: 4,
+            decoy_per_row_share: 0.5,
+            decoy_top_share: 0.25,
+            decoy_min_spills: 8,
+            decoy_evict_ratio: 0.3,
+        }
+    }
+}
+
+/// The per-window signal vector the classifier consumes — accumulated by
+/// the probe from the raw event stream plus the attribution engine's
+/// window-end summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowSignals {
+    /// Window index (0-based, in event-stream order).
+    pub window: u64,
+    /// Cycle of the first event in the window.
+    pub start_cycle: u64,
+    /// Cycle of the last event in the window.
+    pub end_cycle: u64,
+    /// Activations observed (GCT-only + per-row + reserved).
+    pub activations: u64,
+    /// Activations absorbed by the GCT.
+    pub gct_only: u64,
+    /// Per-row-path activations (`RctAccess` events).
+    pub per_row: u64,
+    /// Activations on reserved RCT-storage rows.
+    pub reserved: u64,
+    /// RCC misses.
+    pub rcc_misses: u64,
+    /// RCC evictions.
+    pub rcc_evictions: u64,
+    /// Group spills (GCT entries that reached `T_G`).
+    pub spills: u64,
+    /// Mitigations for ordinary rows.
+    pub mitigations: u64,
+    /// RIT-ACT mitigations for reserved rows.
+    pub rit_mitigations: u64,
+    /// Maximum per-row count observed in any `RctAccess` payload.
+    pub max_count: u32,
+    /// Top rows by tightened estimate at window end, descending.
+    pub top: Vec<(RowAddr, u64)>,
+    /// Distinct mitigated rows (bounded) with their window-end estimates.
+    pub mitigated: Vec<(RowAddr, u64)>,
+}
+
+/// A classified window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// The label.
+    pub class: AttackClass,
+    /// Heuristic confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Human-readable one-line justification.
+    pub reason: String,
+    /// The aggressor set the label was derived from (row, estimate).
+    pub aggressors: Vec<(RowAddr, u64)>,
+}
+
+/// Labels one window. Pure function of the signals and config — the same
+/// inputs always produce the same label (replaying a trace file reproduces
+/// live classification exactly).
+pub fn classify(sig: &WindowSignals, cfg: &ClassifierConfig) -> Classification {
+    if sig.activations < cfg.min_activations {
+        return Classification {
+            class: AttackClass::Quiet,
+            confidence: 1.0,
+            reason: format!(
+                "{} activations below the {}-act floor",
+                sig.activations, cfg.min_activations
+            ),
+            aggressors: Vec::new(),
+        };
+    }
+
+    let t_h = f64::from(cfg.t_h);
+
+    // Decoy signature first: a tracker-thrash flood pushes a few spilled
+    // rows over T_H as collateral, and those stray mitigations must not
+    // reroute a flat 4096-row sweep into the focused-attack shapes below.
+    // The share is over *workload-path* activations (GCT-only + per-row):
+    // reserved-row metadata traffic is the tracker's own doing, and a
+    // thrash attack inflates it enough to mask its demand-side signature.
+    let workload_acts = (sig.gct_only + sig.per_row).max(1);
+    let per_row_share = sig.per_row as f64 / workload_acts as f64;
+    let top4: u64 = sig.top.iter().take(4).map(|&(_, est)| est).sum();
+    let top4_share = top4 as f64 / sig.per_row.max(1) as f64;
+    let evict_ratio = sig.rcc_evictions as f64 / sig.per_row.max(1) as f64;
+    if per_row_share >= cfg.decoy_per_row_share
+        && sig.spills >= cfg.decoy_min_spills
+        && top4_share <= cfg.decoy_top_share
+        && evict_ratio >= cfg.decoy_evict_ratio
+    {
+        let confidence = (0.5 + per_row_share / 2.0).min(0.95);
+        return Classification {
+            class: AttackClass::DecoyHeavy,
+            confidence,
+            reason: format!(
+                "per-row flood ({:.0}% of acts) across {} spills, flat row \
+                 distribution (top-4 share {:.0}%), RCC thrashing \
+                 ({:.0}% of fills evict)",
+                per_row_share * 100.0,
+                sig.spills,
+                top4_share * 100.0,
+                evict_ratio * 100.0
+            ),
+            aggressors: Vec::new(),
+        };
+    }
+
+    let heavy_cut = (cfg.heavy_fraction * t_h).max(1.0);
+    let mut aggressors: Vec<(RowAddr, u64)> = sig
+        .top
+        .iter()
+        .copied()
+        .filter(|&(_, est)| est as f64 >= heavy_cut)
+        .collect();
+    for &(row, est) in &sig.mitigated {
+        if !aggressors.iter().any(|&(r, _)| r == row) {
+            aggressors.push((row, est));
+        }
+    }
+    aggressors.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.row.cmp(&b.0.row)));
+    // Relative-mass cut: drop refresh-feedback victims (real counts, but
+    // orders of magnitude below the rows actually being hammered).
+    if let Some(&(_, top_est)) = aggressors.first() {
+        let floor = (top_est as f64 * cfg.aggressor_mass_fraction).max(1.0);
+        aggressors.retain(|&(_, est)| est as f64 >= floor);
+    }
+
+    let near_threshold = f64::from(sig.max_count) >= cfg.near_threshold_fraction * t_h;
+    let attack_evidence = sig.mitigations > 0 || near_threshold;
+
+    if attack_evidence && !aggressors.is_empty() {
+        return classify_aggressors(sig, cfg, aggressors);
+    }
+
+    Classification {
+        class: AttackClass::Benign,
+        confidence: 1.0 - f64::from(sig.max_count) / t_h.max(1.0),
+        reason: format!(
+            "max per-row count {} of T_H {}, no decoy signature",
+            sig.max_count, cfg.t_h
+        ),
+        aggressors: Vec::new(),
+    }
+}
+
+/// Shapes an aggressor set into single/double/many-sided.
+fn classify_aggressors(
+    sig: &WindowSignals,
+    cfg: &ClassifierConfig,
+    aggressors: Vec<(RowAddr, u64)>,
+) -> Classification {
+    let mass: u64 = aggressors.iter().map(|&(_, est)| est).sum();
+    let top_share = aggressors[0].1 as f64 / mass.max(1) as f64;
+    let base = if sig.mitigations > 0 { 0.85 } else { 0.65 };
+
+    if aggressors.len() == 1 || top_share >= cfg.dominant_share {
+        return Classification {
+            class: AttackClass::SingleSided,
+            confidence: (base + (top_share - cfg.dominant_share).max(0.0) / 2.0).min(0.99),
+            reason: format!(
+                "one dominant aggressor ({:.0}% of heavy mass), {} mitigations",
+                top_share * 100.0,
+                sig.mitigations
+            ),
+            aggressors,
+        };
+    }
+
+    let same_bank = aggressors.iter().all(|&(r, _)| {
+        (r.channel, r.rank, r.bank)
+            == (
+                aggressors[0].0.channel,
+                aggressors[0].0.rank,
+                aggressors[0].0.bank,
+            )
+    });
+    let span = if same_bank {
+        let min = aggressors.iter().map(|&(r, _)| r.row).min().unwrap_or(0);
+        let max = aggressors.iter().map(|&(r, _)| r.row).max().unwrap_or(0);
+        max - min
+    } else {
+        u32::MAX
+    };
+
+    if same_bank && aggressors.len() <= 4 && span <= cfg.cluster_span {
+        Classification {
+            class: AttackClass::DoubleSided,
+            confidence: base + 0.05,
+            reason: format!(
+                "{} aggressors clustered within {span} rows of one bank, {} mitigations",
+                aggressors.len(),
+                sig.mitigations
+            ),
+            aggressors,
+        }
+    } else {
+        Classification {
+            class: AttackClass::ManySided,
+            confidence: base,
+            reason: format!(
+                "{} spread aggressors (span {}), {} mitigations",
+                aggressors.len(),
+                if same_bank {
+                    span.to_string()
+                } else {
+                    "multi-bank".to_string()
+                },
+                sig.mitigations
+            ),
+            aggressors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClassifierConfig {
+        ClassifierConfig::for_threshold(250)
+    }
+
+    fn base_signals() -> WindowSignals {
+        WindowSignals {
+            activations: 10_000,
+            gct_only: 9_000,
+            per_row: 1_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn quiet_window_below_floor() {
+        let sig = WindowSignals {
+            activations: 10,
+            ..Default::default()
+        };
+        let c = classify(&sig, &cfg());
+        assert_eq!(c.class, AttackClass::Quiet);
+        assert!(!c.class.is_attack());
+    }
+
+    #[test]
+    fn single_sided_from_one_dominant_row() {
+        let mut sig = base_signals();
+        sig.mitigations = 12;
+        sig.max_count = 250;
+        let hot = RowAddr::new(0, 0, 1, 100);
+        sig.top = vec![(hot, 3_000), (RowAddr::new(0, 0, 1, 101), 160)];
+        sig.mitigated = vec![(hot, 3_000)];
+        let c = classify(&sig, &cfg());
+        assert_eq!(c.class, AttackClass::SingleSided);
+        assert_eq!(c.aggressors[0].0, hot);
+        assert!(c.confidence > 0.8);
+    }
+
+    #[test]
+    fn double_sided_pair_with_sandwiched_victim() {
+        let mut sig = base_signals();
+        sig.mitigations = 20;
+        sig.max_count = 250;
+        sig.top = vec![
+            (RowAddr::new(0, 0, 1, 99), 2_000),
+            (RowAddr::new(0, 0, 1, 101), 1_990),
+            (RowAddr::new(0, 0, 1, 100), 160), // victim fed by refreshes
+        ];
+        let c = classify(&sig, &cfg());
+        assert_eq!(c.class, AttackClass::DoubleSided);
+    }
+
+    #[test]
+    fn many_sided_from_spread_aggressors() {
+        let mut sig = base_signals();
+        sig.mitigations = 40;
+        sig.max_count = 250;
+        sig.top = (0..8)
+            .map(|i| (RowAddr::new(0, 0, 1, 100 + i * 2), 1_500))
+            .collect();
+        let c = classify(&sig, &cfg());
+        assert_eq!(c.class, AttackClass::ManySided);
+    }
+
+    #[test]
+    fn near_threshold_without_mitigation_still_flags() {
+        let mut sig = base_signals();
+        sig.max_count = 240; // ≥ 0.9 · 250
+        sig.top = vec![(RowAddr::new(0, 0, 0, 7), 240)];
+        let c = classify(&sig, &cfg());
+        assert_eq!(c.class, AttackClass::SingleSided);
+        assert!(c.confidence < 0.85, "no mitigation → lower confidence");
+    }
+
+    #[test]
+    fn decoy_flood_without_hot_rows() {
+        let mut sig = base_signals();
+        sig.per_row = 8_000;
+        sig.gct_only = 2_000;
+        sig.spills = 60;
+        sig.rcc_evictions = 6_500; // working set ≫ RCC: most fills evict
+        sig.max_count = 140; // well short of 0.9 · 250
+        sig.top = (0..8)
+            .map(|i| (RowAddr::new(0, 0, (i % 4) as u8, i * 37), 90))
+            .collect();
+        let c = classify(&sig, &cfg());
+        assert_eq!(c.class, AttackClass::DecoyHeavy);
+        assert!(c.class.is_attack());
+    }
+
+    #[test]
+    fn flat_benign_flood_without_evictions_is_not_decoy() {
+        // Same flood shape as the decoy test, but the row set fits the RCC
+        // (no evictions): sparse benign traffic, not a thrash attack.
+        let mut sig = base_signals();
+        sig.per_row = 8_000;
+        sig.gct_only = 2_000;
+        sig.spills = 60;
+        sig.rcc_evictions = 40;
+        sig.max_count = 140;
+        sig.top = (0..8)
+            .map(|i| (RowAddr::new(0, 0, (i % 4) as u8, i * 37), 90))
+            .collect();
+        let c = classify(&sig, &cfg());
+        assert_eq!(c.class, AttackClass::Benign);
+    }
+
+    #[test]
+    fn benign_window_with_warm_rows() {
+        let mut sig = base_signals();
+        sig.max_count = 120;
+        sig.spills = 4;
+        sig.top = vec![(RowAddr::new(0, 0, 0, 3), 115)];
+        let c = classify(&sig, &cfg());
+        assert_eq!(c.class, AttackClass::Benign);
+        assert!(!c.class.is_attack());
+    }
+
+    #[test]
+    fn hot_benign_row_below_near_threshold_is_not_an_attack() {
+        // A benign row at 80% of T_H crosses the heavy cut but provides no
+        // attack evidence (no mitigation, < 90% of T_H).
+        let mut sig = base_signals();
+        sig.max_count = 200;
+        sig.top = vec![(RowAddr::new(0, 0, 0, 3), 200)];
+        let c = classify(&sig, &cfg());
+        assert_eq!(c.class, AttackClass::Benign);
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let mut sig = base_signals();
+        sig.mitigations = 5;
+        sig.max_count = 250;
+        sig.top = vec![(RowAddr::new(0, 0, 1, 50), 900)];
+        assert_eq!(classify(&sig, &cfg()), classify(&sig, &cfg()));
+    }
+
+    #[test]
+    fn severity_orders_classes() {
+        assert!(AttackClass::ManySided.severity() > AttackClass::Benign.severity());
+        assert!(AttackClass::DecoyHeavy.severity() > AttackClass::Quiet.severity());
+    }
+}

@@ -1,0 +1,451 @@
+//! Bench-report regression comparison (`hydra bench --compare`).
+//!
+//! Parses two `hydra-bench-v1` reports (the JSON that `hydra bench` writes
+//! to `BENCH_hydra.json`), joins their cells by `workload/geometry`, and
+//! flags regressions beyond a tolerance:
+//!
+//! - **slowdown**: the cell's simulated bandwidth inflation grew by ≥
+//!   `tolerance_pct` percent relative to the baseline — this is the
+//!   deterministic, machine-independent signal and always gates;
+//! - **mitigations**: the mitigation count drifted by ≥ `tolerance_pct`
+//!   percent — also deterministic (same seeds), so it always gates;
+//! - **invariants**: a cell whose delta-sum check regressed from `true`
+//!   to `false` always gates;
+//! - **throughput** (`acts_per_sec`): wall-clock dependent, so it is
+//!   reported in the table but only gates under
+//!   [`CompareConfig::gate_throughput`] (off by default — CI machines are
+//!   not the machine that wrote the committed baseline).
+//!
+//! Cells present in one report but not the other are listed and gate: a
+//! silently vanished cell is how coverage regressions hide.
+
+use crate::json::{parse, JsonValue};
+use std::fmt::Write as _;
+
+/// Schema identifier of `hydra bench` reports.
+///
+/// This is the single definition of the literal; the CLI imports it and
+/// `repo-lint` enforces that no other library source repeats it.
+pub const BENCH_SCHEMA_VERSION: &str = "hydra-bench-v1";
+
+/// One parsed matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCellData {
+    /// Workload or attack-pattern name.
+    pub workload: String,
+    /// Geometry name (`tiny`, `isca22`).
+    pub geometry: String,
+    /// Activations driven through the cell.
+    pub acts: u64,
+    /// Host wall-clock activations per second.
+    pub acts_per_sec: f64,
+    /// Simulated DRAM-command inflation (1.0 = no overhead).
+    pub bandwidth_inflation: f64,
+    /// Inflation expressed as percent slowdown.
+    pub slowdown_pct: f64,
+    /// Mitigations issued.
+    pub mitigations: u64,
+    /// Whether the per-window delta-sum invariant held.
+    pub delta_sum_ok: bool,
+}
+
+impl BenchCellData {
+    /// `workload/geometry` join key.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.workload, self.geometry)
+    }
+}
+
+/// A parsed `hydra-bench-v1` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReportData {
+    /// Whether the report came from a `--smoke` run.
+    pub smoke: bool,
+    /// Activations per cell.
+    pub acts_per_cell: u64,
+    /// All successfully-run cells.
+    pub cells: Vec<BenchCellData>,
+    /// Labels of failed cells.
+    pub failures: Vec<String>,
+}
+
+/// Parses a bench report, checking the schema stamp.
+pub fn parse_bench_report(text: &str) -> Result<BenchReportData, String> {
+    let v = parse(text)?;
+    let schema = v.get("schema").and_then(JsonValue::as_str).unwrap_or("");
+    if schema != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "not a {BENCH_SCHEMA_VERSION} report (schema {schema:?})"
+        ));
+    }
+    let cells = v
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .ok_or("report has no cells array")?
+        .iter()
+        .map(parse_cell)
+        .collect::<Result<Vec<_>, String>>()?;
+    let failures = v
+        .get("failures")
+        .and_then(JsonValue::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|f| f.as_str().map(str::to_owned))
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(BenchReportData {
+        smoke: v.get("smoke").and_then(JsonValue::as_bool).unwrap_or(false),
+        acts_per_cell: v
+            .get("acts_per_cell")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        cells,
+        failures,
+    })
+}
+
+fn parse_cell(v: &JsonValue) -> Result<BenchCellData, String> {
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("cell missing numeric field {key:?}"))
+    };
+    Ok(BenchCellData {
+        workload: v
+            .get("workload")
+            .and_then(JsonValue::as_str)
+            .ok_or("cell missing workload")?
+            .to_string(),
+        geometry: v
+            .get("geometry")
+            .and_then(JsonValue::as_str)
+            .ok_or("cell missing geometry")?
+            .to_string(),
+        acts: v.get("acts").and_then(JsonValue::as_u64).unwrap_or(0),
+        acts_per_sec: field("acts_per_sec")?,
+        bandwidth_inflation: field("bandwidth_inflation")?,
+        slowdown_pct: field("slowdown_pct")?,
+        mitigations: v
+            .get("mitigations")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        delta_sum_ok: v
+            .get("delta_sum_ok")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
+    })
+}
+
+/// Comparison knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Relative drift (percent) at which a metric counts as a regression.
+    pub tolerance_pct: f64,
+    /// Whether wall-clock throughput drops gate (off by default).
+    pub gate_throughput: bool,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            tolerance_pct: 10.0,
+            gate_throughput: false,
+        }
+    }
+}
+
+/// One joined cell with its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// `workload/geometry`.
+    pub key: String,
+    /// Baseline cell.
+    pub old: BenchCellData,
+    /// Candidate cell.
+    pub new: BenchCellData,
+    /// Relative inflation growth, percent (positive = slower).
+    pub inflation_drift_pct: f64,
+    /// Relative mitigation drift, percent (absolute value).
+    pub mitigation_drift_pct: f64,
+    /// Relative throughput change, percent (negative = slower host run).
+    pub throughput_drift_pct: f64,
+    /// Why this cell gates (empty = pass).
+    pub regressions: Vec<String>,
+}
+
+/// Full comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// Per-cell diffs, in baseline order.
+    pub rows: Vec<CellDiff>,
+    /// Keys in the baseline but absent from the candidate.
+    pub missing_in_new: Vec<String>,
+    /// Keys in the candidate but absent from the baseline.
+    pub missing_in_old: Vec<String>,
+    /// The config used.
+    pub config: CompareConfig,
+}
+
+impl BenchComparison {
+    /// Total gating problems: regressed cells plus vanished cells.
+    pub fn regression_count(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| !r.regressions.is_empty())
+            .count()
+            + self.missing_in_new.len()
+    }
+
+    /// Renders a fixed-width regression table plus verdict lines.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}  verdict",
+            "cell", "slow_old%", "slow_new%", "drift%", "mit_old", "mit_new", "thru%"
+        );
+        for row in &self.rows {
+            let verdict = if row.regressions.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("REGRESSED ({})", row.regressions.join("; "))
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>10.3} {:>10.3} {:>8.2} {:>10} {:>10} {:>8.1}  {verdict}",
+                row.key,
+                row.old.slowdown_pct,
+                row.new.slowdown_pct,
+                row.inflation_drift_pct,
+                row.old.mitigations,
+                row.new.mitigations,
+                row.throughput_drift_pct,
+            );
+        }
+        for key in &self.missing_in_new {
+            let _ = writeln!(out, "{key:<24} MISSING from candidate report");
+        }
+        for key in &self.missing_in_old {
+            let _ = writeln!(out, "{key:<24} new cell (not in baseline, informational)");
+        }
+        let n = self.regression_count();
+        let _ = writeln!(
+            out,
+            "compare: {} cell(s), {} regression(s), tolerance {}%{}",
+            self.rows.len(),
+            n,
+            self.config.tolerance_pct,
+            if self.config.gate_throughput {
+                " (throughput gating)"
+            } else {
+                ""
+            }
+        );
+        out
+    }
+}
+
+/// Relative drift of `new` vs `old` in percent; `old` floored to avoid
+/// division blow-ups near zero.
+fn rel_drift_pct(old: f64, new: f64, floor: f64) -> f64 {
+    (new - old) / old.max(floor) * 100.0
+}
+
+/// Joins and diffs two reports. `old` is the trusted baseline, `new` the
+/// candidate.
+pub fn compare_reports(
+    old: &BenchReportData,
+    new: &BenchReportData,
+    config: CompareConfig,
+) -> BenchComparison {
+    // `>= tol - ε` so an exactly-at-tolerance drift gates (the documented
+    // contract is "beyond tolerance" inclusive).
+    let tol = config.tolerance_pct - 1e-9;
+    let mut rows = Vec::new();
+    let mut missing_in_new = Vec::new();
+    for old_cell in &old.cells {
+        let key = old_cell.key();
+        let Some(new_cell) = new.cells.iter().find(|c| c.key() == key) else {
+            missing_in_new.push(key);
+            continue;
+        };
+        // Inflation is ≥ 1.0 by construction; drift is measured on the
+        // overhead-carrying quantity itself.
+        let inflation_drift_pct = rel_drift_pct(
+            old_cell.bandwidth_inflation,
+            new_cell.bandwidth_inflation,
+            1.0,
+        );
+        let mitigation_drift_pct = rel_drift_pct(
+            old_cell.mitigations as f64,
+            new_cell.mitigations as f64,
+            1.0,
+        )
+        .abs();
+        let throughput_drift_pct = rel_drift_pct(old_cell.acts_per_sec, new_cell.acts_per_sec, 1.0);
+
+        let mut regressions = Vec::new();
+        if inflation_drift_pct >= tol {
+            regressions.push(format!("slowdown +{inflation_drift_pct:.2}%"));
+        }
+        if mitigation_drift_pct >= tol {
+            regressions.push(format!("mitigations drift {mitigation_drift_pct:.2}%"));
+        }
+        if old_cell.delta_sum_ok && !new_cell.delta_sum_ok {
+            regressions.push("delta-sum invariant broke".to_string());
+        }
+        if config.gate_throughput && -throughput_drift_pct >= tol {
+            regressions.push(format!("throughput {throughput_drift_pct:.1}%"));
+        }
+        rows.push(CellDiff {
+            key,
+            old: old_cell.clone(),
+            new: new_cell.clone(),
+            inflation_drift_pct,
+            mitigation_drift_pct,
+            throughput_drift_pct,
+            regressions,
+        });
+    }
+    let missing_in_old = new
+        .cells
+        .iter()
+        .filter(|c| !old.cells.iter().any(|o| o.key() == c.key()))
+        .map(BenchCellData::key)
+        .collect();
+    BenchComparison {
+        rows,
+        missing_in_new,
+        missing_in_old,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cells: &[(&str, f64, u64)]) -> BenchReportData {
+        BenchReportData {
+            smoke: true,
+            acts_per_cell: 20_000,
+            cells: cells
+                .iter()
+                .map(|&(w, inflation, mitigations)| BenchCellData {
+                    workload: w.to_string(),
+                    geometry: "tiny".to_string(),
+                    acts: 20_000,
+                    acts_per_sec: 1e7,
+                    bandwidth_inflation: inflation,
+                    slowdown_pct: (inflation - 1.0) * 100.0,
+                    mitigations,
+                    delta_sum_ok: true,
+                })
+                .collect(),
+            failures: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn parses_the_cli_report_format() {
+        let text = concat!(
+            "{\"schema\":\"hydra-bench-v1\",\"smoke\":true,\"acts_per_cell\":20000,",
+            "\"cells\":[{\"workload\":\"gups\",\"geometry\":\"tiny\",\"acts\":20000,",
+            "\"wall_secs\":0.001,\"acts_per_sec\":15525503.4,",
+            "\"bandwidth_inflation\":1.014,\"slowdown_pct\":1.4,\"windows\":14,",
+            "\"mitigations\":56,\"delta_sum_ok\":true}],\"failures\":[],",
+            "\"summary\":{\"cells\":1,\"ok\":1,\"failed\":0,",
+            "\"mean_acts_per_sec\":1.0,\"max_slowdown_pct\":1.4,",
+            "\"all_delta_sums_ok\":true}}"
+        );
+        let r = parse_bench_report(text).expect("parses");
+        assert!(r.smoke);
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(r.cells[0].key(), "gups/tiny");
+        assert_eq!(r.cells[0].mitigations, 56);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(parse_bench_report("{\"schema\":\"something-else\",\"cells\":[]}").is_err());
+        assert!(parse_bench_report("not json").is_err());
+    }
+
+    #[test]
+    fn self_comparison_is_clean() {
+        let r = report(&[("gups", 1.0, 0), ("double_sided", 1.014, 56)]);
+        let cmp = compare_reports(&r, &r, CompareConfig::default());
+        assert_eq!(cmp.regression_count(), 0);
+        assert!(cmp.rows.iter().all(|c| c.regressions.is_empty()));
+    }
+
+    #[test]
+    fn inflation_growth_at_tolerance_gates() {
+        let old = report(&[("double_sided", 1.10, 56)]);
+        // Inflation 1.10 → 1.21 is exactly +10% relative growth.
+        let new = report(&[("double_sided", 1.21, 56)]);
+        let cmp = compare_reports(&old, &new, CompareConfig::default());
+        assert_eq!(cmp.regression_count(), 1);
+        assert!(cmp.rows[0].regressions[0].contains("slowdown"));
+        // Just under tolerance passes.
+        let near = report(&[("double_sided", 1.20, 56)]);
+        let cmp = compare_reports(&old, &near, CompareConfig::default());
+        assert_eq!(cmp.regression_count(), 0);
+    }
+
+    #[test]
+    fn mitigation_drift_gates_both_directions() {
+        let old = report(&[("double_sided", 1.0, 100)]);
+        let more = report(&[("double_sided", 1.0, 111)]);
+        let fewer = report(&[("double_sided", 1.0, 89)]);
+        assert_eq!(
+            compare_reports(&old, &more, CompareConfig::default()).regression_count(),
+            1
+        );
+        assert_eq!(
+            compare_reports(&old, &fewer, CompareConfig::default()).regression_count(),
+            1,
+            "losing mitigations is a protection regression, not a win"
+        );
+    }
+
+    #[test]
+    fn throughput_only_gates_when_asked() {
+        let old = report(&[("gups", 1.0, 0)]);
+        let mut slow = report(&[("gups", 1.0, 0)]);
+        slow.cells[0].acts_per_sec = 5e6; // −50%
+        assert_eq!(
+            compare_reports(&old, &slow, CompareConfig::default()).regression_count(),
+            0
+        );
+        let gated = CompareConfig {
+            gate_throughput: true,
+            ..CompareConfig::default()
+        };
+        assert_eq!(compare_reports(&old, &slow, gated).regression_count(), 1);
+    }
+
+    #[test]
+    fn missing_cells_gate_and_new_cells_do_not() {
+        let old = report(&[("gups", 1.0, 0), ("mcf", 1.0, 0)]);
+        let new = report(&[("gups", 1.0, 0), ("stream", 1.0, 0)]);
+        let cmp = compare_reports(&old, &new, CompareConfig::default());
+        assert_eq!(cmp.missing_in_new, vec!["mcf/tiny"]);
+        assert_eq!(cmp.missing_in_old, vec!["stream/tiny"]);
+        assert_eq!(cmp.regression_count(), 1);
+        let table = cmp.render_table();
+        assert!(table.contains("MISSING from candidate"));
+    }
+
+    #[test]
+    fn broken_delta_sum_gates() {
+        let old = report(&[("gups", 1.0, 0)]);
+        let mut new = report(&[("gups", 1.0, 0)]);
+        new.cells[0].delta_sum_ok = false;
+        let cmp = compare_reports(&old, &new, CompareConfig::default());
+        assert_eq!(cmp.regression_count(), 1);
+        assert!(cmp.rows[0].regressions[0].contains("delta-sum"));
+    }
+}

@@ -1,0 +1,78 @@
+//! The forensics probe identity: a `Hydra` carrying a live
+//! [`ForensicsProbe`] is bit-identical to a bare one over arbitrary
+//! activation streams.
+//!
+//! This extends the core probe-identity contract (see
+//! `crates/core/tests/probe_identity.rs`) to the forensics analyzer: the
+//! probe maintains sketches, window reports, and incident state, and none
+//! of that may leak back into tracker behaviour — not one response, not
+//! one counter.
+
+use hydra_core::{Hydra, HydraConfig};
+use hydra_forensics::ForensicsProbe;
+use hydra_types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
+use proptest::prelude::*;
+
+const T_H: u32 = 16;
+const T_G: u32 = 12;
+
+fn config() -> HydraConfig {
+    HydraConfig::builder(MemGeometry::tiny(), 0)
+        .thresholds(T_H, T_G)
+        .gct_entries(64)
+        .rcc_entries(16)
+        .rcc_ways(4)
+        .build()
+        .expect("valid test config")
+}
+
+/// Streams biased toward hammering (hot rows + group mates + reserved RCT
+/// rows) — the traffic that exercises every seam the probe listens on:
+/// spills, RCC fills and evictions, RCT accesses, and mitigations.
+fn activation_sequence() -> impl Strategy<Value = Vec<RowAddr>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0u32..8).prop_map(|r| RowAddr::new(0, 0, 0, r)),
+            2 => (0u32..128).prop_map(|r| RowAddr::new(0, 0, 0, r)),
+            1 => (0u8..4, 0u32..1024).prop_map(|(b, r)| RowAddr::new(0, 0, b, r)),
+            1 => (0u8..4).prop_map(|b| RowAddr::new(0, 0, b, 1023)),
+        ],
+        0..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Responses and stats of a forensics-probed tracker match the bare
+    /// tracker exactly, step for step — and the probe still does its job
+    /// (it observes every window the tracker completes).
+    #[test]
+    fn forensics_probed_tracker_is_bit_identical(
+        sequence in activation_sequence(),
+        reset_every in 0usize..200,
+    ) {
+        let mut bare = Hydra::new(config()).expect("valid config");
+        let mut probed =
+            Hydra::with_probe(config(), ForensicsProbe::new(T_H)).expect("valid config");
+        let mut resets = 0usize;
+        for (i, &row) in sequence.iter().enumerate() {
+            if reset_every > 0 && i > 0 && i % reset_every == 0 {
+                bare.reset_window(i as u64);
+                probed.reset_window(i as u64);
+                resets += 1;
+            }
+            let a = bare.on_activation(row, i as u64, ActivationKind::Demand);
+            let b = probed.on_activation(row, i as u64, ActivationKind::Demand);
+            prop_assert_eq!(&a, &b, "forensics-probe divergence at step {}", i);
+        }
+        prop_assert_eq!(bare.stats(), probed.stats());
+
+        // The probe saw the run: one report per completed window, plus a
+        // tail window iff any event landed after the last reset.
+        let mut probe = probed.into_probe();
+        probe.finish();
+        prop_assert!(probe.reports().len() >= resets);
+        prop_assert!(probe.reports().len() <= resets + 1);
+    }
+}

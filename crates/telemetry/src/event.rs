@@ -132,6 +132,23 @@ pub enum TelemetryEvent {
         /// Memory cycles the request waited in the queue.
         wait: u64,
     },
+    /// A per-row tracking-path count observation: the row's counter was
+    /// consulted and updated (RCC hit, RCT read, or spill install), and its
+    /// post-increment value is reported.
+    ///
+    /// This is the attribution seam: unlike the slot-keyed RCC/RCT events,
+    /// it names the *row*, so streaming analyzers (`hydra-forensics`) can
+    /// reconstruct per-row activation timelines without reversing the
+    /// per-window randomized slot permutation. Exactly one `RctAccess` is
+    /// emitted per per-row-path activation
+    /// (`rcc_hits + rct_accesses` in `HydraStats` terms).
+    RctAccess {
+        /// The row whose counter was touched.
+        row: RowAddr,
+        /// The row's updated activation count, *before* the reset to zero
+        /// that a triggered mitigation performs.
+        count: u32,
+    },
 }
 
 /// The kind (discriminant) of a [`TelemetryEvent`], payload stripped.
@@ -174,11 +191,13 @@ pub enum EventKind {
     CtrlEnqueue,
     /// See [`TelemetryEvent::CtrlIssue`].
     CtrlIssue,
+    /// See [`TelemetryEvent::RctAccess`].
+    RctAccess,
 }
 
 impl EventKind {
     /// Every kind, in declaration order. `ALL[k.index()] == k`.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::GctOnly,
         EventKind::GroupSpill,
         EventKind::RccHit,
@@ -196,6 +215,7 @@ impl EventKind {
         EventKind::DegradedProbabilistic,
         EventKind::CtrlEnqueue,
         EventKind::CtrlIssue,
+        EventKind::RctAccess,
     ];
 
     /// Number of distinct kinds.
@@ -221,6 +241,7 @@ impl EventKind {
             EventKind::DegradedProbabilistic => 14,
             EventKind::CtrlEnqueue => 15,
             EventKind::CtrlIssue => 16,
+            EventKind::RctAccess => 17,
         }
     }
 
@@ -244,7 +265,16 @@ impl EventKind {
             EventKind::DegradedProbabilistic => "degraded_probabilistic",
             EventKind::CtrlEnqueue => "ctrl_enqueue",
             EventKind::CtrlIssue => "ctrl_issue",
+            EventKind::RctAccess => "rct_access",
         }
+    }
+
+    /// Parses the stable snake_case [`Self::name`] back into a kind.
+    ///
+    /// Returns `None` for unknown names; used by `hydra trace --kinds` and
+    /// trace-file replay.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.iter().copied().find(|k| k.name() == name)
     }
 }
 
@@ -269,6 +299,7 @@ impl TelemetryEvent {
             TelemetryEvent::DegradedProbabilistic { .. } => EventKind::DegradedProbabilistic,
             TelemetryEvent::CtrlEnqueue { .. } => EventKind::CtrlEnqueue,
             TelemetryEvent::CtrlIssue { .. } => EventKind::CtrlIssue,
+            TelemetryEvent::RctAccess { .. } => EventKind::RctAccess,
         }
     }
 
@@ -317,6 +348,13 @@ impl TelemetryEvent {
             }
             TelemetryEvent::CtrlIssue { queue, wait } => {
                 let _ = write!(out, ",\"queue\":\"{}\",\"wait\":{wait}", queue.name());
+            }
+            TelemetryEvent::RctAccess { row, count } => {
+                let _ = write!(
+                    out,
+                    ",\"ch\":{},\"rank\":{},\"bank\":{},\"row\":{},\"count\":{count}",
+                    row.channel, row.rank, row.bank, row.row
+                );
             }
         }
         out.push('}');
@@ -389,6 +427,23 @@ mod tests {
             ev.to_json(3),
             r#"{"t":3,"ev":"ctrl_issue","queue":"mitigation","wait":17}"#
         );
+
+        let ev = TelemetryEvent::RctAccess {
+            row: RowAddr::new(0, 1, 2, 250),
+            count: 249,
+        };
+        assert_eq!(
+            ev.to_json(44),
+            r#"{"t":44,"ev":"rct_access","ch":0,"rank":1,"bank":2,"row":250,"count":249}"#
+        );
+    }
+
+    #[test]
+    fn from_name_roundtrips_every_kind() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::from_name("no_such_event"), None);
     }
 
     #[test]

@@ -45,9 +45,13 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod json;
 pub mod metrics;
 pub mod sink;
 
 pub use event::{CtrlQueue, EventKind, TelemetryEvent};
 pub use metrics::{MetricValue, MetricsRegistry, MetricsRow};
-pub use sink::{CountingSink, EventSink, JsonlSink, NoopSink, RingBufferSink, TimedEvent};
+pub use sink::{
+    CountingSink, EventSink, JsonlSink, KindFilterSink, NoopSink, RingBufferSink, TeeSink,
+    TimedEvent, TRACE_SCHEMA_VERSION,
+};

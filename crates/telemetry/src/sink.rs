@@ -8,6 +8,14 @@
 
 use crate::event::{EventKind, TelemetryEvent};
 use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Schema identifier written in the self-describing header line of
+/// `hydra trace` JSONL output (see [`JsonlSink::with_meta`]).
+///
+/// This is the single definition of the literal; `repo-lint` enforces that
+/// no other library source repeats it.
+pub const TRACE_SCHEMA_VERSION: &str = "hydra-trace-v1";
 
 /// A destination for telemetry events.
 ///
@@ -222,6 +230,25 @@ impl JsonlSink {
         }
     }
 
+    /// Prepends a self-describing meta header line:
+    /// `{"schema":"hydra-trace-v1","workload":"<name>","t_h":N}`.
+    ///
+    /// The workload name is JSON-escaped (quotes, backslashes, control
+    /// characters; non-ASCII passes through as UTF-8), so arbitrary
+    /// workload names — including attacker-chosen ones — cannot corrupt
+    /// the stream. The header does not count against the event cap or
+    /// [`Self::written`]. Call before any events are emitted.
+    pub fn with_meta(mut self, workload: &str, t_h: u32) -> Self {
+        let _ = write!(
+            self.out,
+            "{{\"schema\":\"{TRACE_SCHEMA_VERSION}\",\"workload\":\"",
+        );
+        crate::json::escape_into(workload, &mut self.out);
+        let _ = write!(self.out, "\",\"t_h\":{t_h}}}");
+        self.out.push('\n');
+        self
+    }
+
     /// The JSONL text accumulated so far (one event per line).
     pub fn as_str(&self) -> &str {
         &self.out
@@ -260,6 +287,120 @@ impl EventSink for JsonlSink {
         event.write_json(now, &mut self.out);
         self.out.push('\n');
         self.written += 1;
+    }
+}
+
+/// Forwards only events of an allow-listed set of [`EventKind`]s to an
+/// inner sink, counting what it filtered out.
+///
+/// Backs `hydra trace --kinds`: the filter sits *in front of* the
+/// recording sink, so caps and drop accounting in the inner sink apply to
+/// the filtered stream.
+#[derive(Debug, Clone)]
+pub struct KindFilterSink<S> {
+    inner: S,
+    allowed: [bool; EventKind::COUNT],
+    filtered: u64,
+}
+
+impl<S> KindFilterSink<S> {
+    /// Wraps `inner`, forwarding only events whose kind is in `kinds`.
+    ///
+    /// An empty `kinds` list filters everything.
+    pub fn new(inner: S, kinds: &[EventKind]) -> Self {
+        let mut allowed = [false; EventKind::COUNT];
+        for k in kinds {
+            allowed[k.index()] = true;
+        }
+        KindFilterSink {
+            inner,
+            allowed,
+            filtered: 0,
+        }
+    }
+
+    /// True if events of `kind` pass through.
+    pub fn allows(&self, kind: EventKind) -> bool {
+        self.allowed[kind.index()]
+    }
+
+    /// Events suppressed by the filter so far.
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: EventSink> EventSink for KindFilterSink<S> {
+    fn emit(&mut self, now: u64, event: TelemetryEvent) {
+        if self.allowed[event.kind().index()] {
+            self.inner.emit(now, event);
+        } else {
+            self.filtered += 1;
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.inner.is_enabled()
+    }
+}
+
+/// Duplicates every event into two sinks.
+///
+/// Lets one run feed a recording sink and a streaming analyzer at the same
+/// time — `hydra trace --forensics` tees the JSONL recorder and the
+/// forensics probe off a single instrumented tracker.
+#[derive(Debug, Clone, Default)]
+pub struct TeeSink<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Combines two sinks; every event goes to both.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// The first sink.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second sink.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Mutable access to the second sink (analyzers often need
+    /// finalization calls).
+    pub fn second_mut(&mut self) -> &mut B {
+        &mut self.second
+    }
+
+    /// Unwraps into the two sinks.
+    pub fn into_parts(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
+    fn emit(&mut self, now: u64, event: TelemetryEvent) {
+        self.first.emit(now, event);
+        self.second.emit(now, event);
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.first.is_enabled() || self.second.is_enabled()
     }
 }
 
@@ -346,5 +487,86 @@ mod tests {
         let mut boxed: Box<dyn EventSink> = Box::new(RingBufferSink::new(2));
         boxed.emit(0, ev(0));
         assert!(boxed.is_enabled());
+    }
+
+    /// Drop accounting at the exact-capacity boundary: filling to capacity
+    /// drops nothing; the very next emit drops exactly one; at every point
+    /// `emitted == len + dropped`.
+    #[test]
+    fn ring_buffer_exact_capacity_boundary_accounting() {
+        const CAP: usize = 4;
+        let mut s = RingBufferSink::new(CAP);
+        for i in 0..CAP as u64 {
+            s.emit(i, ev(i));
+            assert_eq!(s.dropped(), 0, "no drops while filling");
+            assert_eq!(s.emitted(), s.len() as u64 + s.dropped());
+        }
+        assert_eq!(s.len(), CAP, "exactly full");
+        s.emit(CAP as u64, ev(99));
+        assert_eq!(s.len(), CAP, "stays at capacity");
+        assert_eq!(s.dropped(), 1, "one eviction past the boundary");
+        assert_eq!(s.emitted(), CAP as u64 + 1);
+        for i in 0..100u64 {
+            s.emit(100 + i, ev(i));
+            assert_eq!(s.emitted(), s.len() as u64 + s.dropped(), "invariant");
+        }
+        assert_eq!(s.to_jsonl().lines().count(), s.len(), "jsonl matches len");
+    }
+
+    #[test]
+    fn jsonl_meta_header_escapes_hostile_and_non_ascii_names() {
+        let mut s = JsonlSink::new().with_meta("große\"行列\\x\n", 250);
+        s.emit(1, ev(0));
+        let mut lines = s.as_str().lines();
+        let header = lines.next().expect("meta header present");
+        assert_eq!(
+            header,
+            "{\"schema\":\"hydra-trace-v1\",\"workload\":\"große\\\"行列\\\\x\\n\",\"t_h\":250}"
+        );
+        assert_eq!(lines.count(), 1, "one event after the header");
+        assert_eq!(s.written(), 1, "header does not count as an event");
+    }
+
+    #[test]
+    fn jsonl_meta_header_does_not_consume_the_cap() {
+        let mut s = JsonlSink::with_limit(1).with_meta("plain", 16);
+        s.emit(0, ev(0));
+        s.emit(1, ev(1));
+        assert_eq!(s.written(), 1);
+        assert_eq!(s.truncated(), 1);
+        assert_eq!(s.as_str().lines().count(), 2, "header + one event");
+    }
+
+    #[test]
+    fn kind_filter_forwards_only_allowed_kinds() {
+        let inner = CountingSink::new();
+        let mut s = KindFilterSink::new(inner, &[EventKind::WindowReset, EventKind::Mitigation]);
+        s.emit(0, ev(0));
+        s.emit(1, TelemetryEvent::WindowReset { window: 1 });
+        s.emit(2, TelemetryEvent::RccHit { slot: 3 });
+        assert!(s.allows(EventKind::WindowReset));
+        assert!(!s.allows(EventKind::GctOnly));
+        assert_eq!(s.filtered(), 2);
+        assert_eq!(s.inner().total(), 1);
+        assert_eq!(s.inner().count(EventKind::WindowReset), 1);
+    }
+
+    #[test]
+    fn kind_filter_with_empty_list_blocks_everything() {
+        let mut s = KindFilterSink::new(CountingSink::new(), &[]);
+        s.emit(0, ev(0));
+        assert_eq!(s.filtered(), 1);
+        assert_eq!(s.into_inner().total(), 0);
+    }
+
+    #[test]
+    fn tee_sink_duplicates_into_both() {
+        let mut s = TeeSink::new(CountingSink::new(), RingBufferSink::new(8));
+        s.emit(0, ev(0));
+        s.emit(1, TelemetryEvent::WindowReset { window: 1 });
+        assert_eq!(s.first().total(), 2);
+        assert_eq!(s.second().len(), 2);
+        let (a, b) = s.into_parts();
+        assert_eq!(a.total(), b.emitted());
     }
 }

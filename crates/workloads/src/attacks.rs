@@ -51,7 +51,44 @@ pub enum AttackPattern {
     },
 }
 
+/// Names of every canonical attack pattern, in presentation order.
+///
+/// `AttackPattern::canonical(name, geom)` accepts exactly these names;
+/// tooling that wants "one of each attack" (the CLI's pattern arguments,
+/// `hydra-audit --forensics`, the classifier fixture tests) iterates this
+/// list instead of hard-coding its own copy.
+pub const CANONICAL_NAMES: [&str; 5] = [
+    "single_sided",
+    "double_sided",
+    "many_sided",
+    "half_double",
+    "thrash",
+];
+
 impl AttackPattern {
+    /// The canonical instance of the named pattern for `geometry`: a
+    /// mid-bank victim (so blast-radius neighbors exist in any geometry),
+    /// 16 aggressors for many-sided, ratio 8 for half-double, and a
+    /// 100k-row thrash. Returns `None` for unknown names; every name in
+    /// [`CANONICAL_NAMES`] succeeds.
+    pub fn canonical(name: &str, geometry: MemGeometry) -> Option<AttackPattern> {
+        let victim = RowAddr::new(0, 0, 1, geometry.rows_per_bank() / 2);
+        Some(match name {
+            "single_sided" => AttackPattern::SingleSided { aggressor: victim },
+            "double_sided" => AttackPattern::DoubleSided { victim },
+            "many_sided" => AttackPattern::ManySided {
+                first: victim,
+                n: 16,
+            },
+            "half_double" => AttackPattern::HalfDouble { victim, ratio: 8 },
+            "thrash" => AttackPattern::Thrash {
+                rows: 100_000,
+                seed: 7,
+            },
+            _ => return None,
+        })
+    }
+
     /// A generator of aggressor rows for this pattern.
     pub fn rows(&self, geometry: MemGeometry) -> AttackRows {
         AttackRows {
@@ -244,6 +281,15 @@ mod tests {
             assert!(!op.is_write);
         }
         assert_eq!(t.name(), "single_sided");
+    }
+
+    #[test]
+    fn canonical_covers_every_name_and_rejects_unknowns() {
+        for name in CANONICAL_NAMES {
+            let p = AttackPattern::canonical(name, geom()).expect("canonical name");
+            assert_eq!(p.name(), name);
+        }
+        assert_eq!(AttackPattern::canonical("row_press", geom()), None);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod trace;
 pub mod tracefile;
 pub mod zipf;
 
-pub use attacks::{AttackPattern, AttackTrace};
+pub use attacks::{AttackPattern, AttackTrace, CANONICAL_NAMES};
 pub use mix::{MixSlot, MixTrace, WorkloadMix};
 pub use spec::{Suite, WorkloadSpec};
 pub use synth::SyntheticTrace;

@@ -10,7 +10,9 @@
 //! hydra batch [flags]                   # resilient fault-campaign batch run
 //! hydra replay FILE                     # reproduce a failed run from its artifact
 //! hydra bench [--smoke] [flags]         # workload×geometry matrix → BENCH_hydra.json
-//! hydra trace PATTERN [ACTS]            # JSONL telemetry event stream to stdout
+//! hydra bench --compare OLD.json [...]  # regression diff against a baseline report
+//! hydra trace PATTERN [ACTS] [flags]    # JSONL telemetry event stream to stdout
+//! hydra forensics FILE [--t-h N]        # classify a recorded trace, emit incidents
 //! ```
 
 use hydra_repro::analysis::faults::{run_case, FaultCaseReport, FaultCaseSpec};
@@ -19,9 +21,14 @@ use hydra_repro::core::degrade::DegradationPolicy;
 use hydra_repro::core::{Hydra, HydraConfig, HydraStorage};
 use hydra_repro::dram::DramTiming;
 use hydra_repro::faults::FaultPlan;
+use hydra_repro::forensics::{
+    compare_reports, incidents_to_jsonl, parse_bench_report, parse_trace_meta, replay_trace,
+    CompareConfig, ForensicsProbe, BENCH_SCHEMA_VERSION,
+};
 use hydra_repro::sim::batch::{BatchConfig, BatchJob, BatchRunner, JobStatus};
 use hydra_repro::sim::{run_windowed, ActivationSim, WindowSeries};
-use hydra_repro::telemetry::JsonlSink;
+use hydra_repro::telemetry::json::escape_into;
+use hydra_repro::telemetry::{EventKind, JsonlSink, KindFilterSink, TeeSink};
 use hydra_repro::types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
 use hydra_repro::workloads::{registry, AttackPattern, TraceSource, TraceWriter};
 use std::collections::{HashMap, HashSet};
@@ -42,9 +49,10 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("forensics") => cmd_forensics(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace> [args]"
+                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace|forensics> [args]"
             );
             eprintln!("  storage                      print the paper's storage tables");
             eprintln!("  list                         list the 36 registered workloads");
@@ -63,7 +71,16 @@ fn main() -> ExitCode {
             eprintln!(
                 "                               throughput/slowdown matrix → BENCH_hydra.json"
             );
-            eprintln!("  trace <pattern> [acts]       stream telemetry events as JSONL");
+            eprintln!("  bench --compare OLD.json [--against NEW.json] [--tolerance PCT]");
+            eprintln!("        [--gate-throughput]    diff against a baseline; nonzero exit on");
+            eprintln!(
+                "                               regression (runs fresh cells unless --against)"
+            );
+            eprintln!("  trace <pattern> [acts] [--kinds K1,K2,..] [--limit N] [--forensics]");
+            eprintln!("                               stream telemetry events as JSONL");
+            eprintln!(
+                "  forensics <file> [--t-h N]   classify a recorded trace, emit incident JSONL"
+            );
             return ExitCode::from(2);
         }
     };
@@ -176,22 +193,7 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
 }
 
 fn parse_pattern(name: &str, geom: MemGeometry) -> Result<AttackPattern, String> {
-    // Mid-bank victim: blast-radius neighbors exist in any geometry.
-    let victim = RowAddr::new(0, 0, 1, geom.rows_per_bank() / 2);
-    Ok(match name {
-        "single_sided" => AttackPattern::SingleSided { aggressor: victim },
-        "double_sided" => AttackPattern::DoubleSided { victim },
-        "many_sided" => AttackPattern::ManySided {
-            first: victim,
-            n: 16,
-        },
-        "half_double" => AttackPattern::HalfDouble { victim, ratio: 8 },
-        "thrash" => AttackPattern::Thrash {
-            rows: 100_000,
-            seed: 7,
-        },
-        other => return Err(format!("unknown pattern {other}")),
-    })
+    AttackPattern::canonical(name, geom).ok_or_else(|| format!("unknown pattern {name}"))
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {
@@ -520,13 +522,9 @@ impl BatchJob for BenchCellJob {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn bench_json(smoke: bool, acts: u64, cells: &[BenchCell], failures: &[String]) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\"schema\":\"hydra-bench-v1\",");
+    let mut out = format!("{{\"schema\":\"{BENCH_SCHEMA_VERSION}\",");
     let _ = write!(
         out,
         "\"smoke\":{smoke},\"acts_per_cell\":{acts},\"cells\":["
@@ -542,7 +540,9 @@ fn bench_json(smoke: bool, acts: u64, cells: &[BenchCell], failures: &[String]) 
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "\"{}\"", json_escape(f));
+        out.push('"');
+        escape_into(f, &mut out);
+        out.push('"');
     }
     let mean_aps = if cells.is_empty() {
         0.0
@@ -572,6 +572,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
     let mut out = PathBuf::from("BENCH_hydra.json");
     let mut acts_override: Option<u64> = None;
+    let mut compare: Option<PathBuf> = None;
+    let mut against: Option<PathBuf> = None;
+    let mut tolerance_pct = CompareConfig::default().tolerance_pct;
+    let mut gate_throughput = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -590,10 +594,45 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                         .map_err(|_| "bad --acts")?,
                 );
             }
+            "--compare" => {
+                i += 1;
+                compare = Some(PathBuf::from(args.get(i).ok_or("--compare needs a value")?));
+            }
+            "--against" => {
+                i += 1;
+                against = Some(PathBuf::from(args.get(i).ok_or("--against needs a value")?));
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance_pct = args
+                    .get(i)
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --tolerance")?;
+            }
+            "--gate-throughput" => gate_throughput = true,
             other => return Err(format!("unknown bench flag {other}")),
         }
         i += 1;
     }
+    let compare_config = CompareConfig {
+        tolerance_pct,
+        gate_throughput,
+    };
+
+    // Pure diff mode: compare two existing reports, run nothing.
+    if let (Some(baseline), Some(candidate)) = (&compare, &against) {
+        let old = read_bench_report(baseline)?;
+        let new = read_bench_report(candidate)?;
+        return finish_compare(&old, &new, compare_config);
+    }
+    if against.is_some() {
+        return Err("--against requires --compare".into());
+    }
+
+    // Read the baseline before the run: `--out` may point at the same file
+    // (the default), and the fresh report must not clobber it unread.
+    let baseline = compare.as_deref().map(read_bench_report).transpose()?;
 
     let (workloads, geometries): (&[&str], &[&str]) = if smoke {
         (&["gups", "mcf", "double_sided"], &["tiny"])
@@ -666,22 +705,150 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let json = bench_json(smoke, acts, &cells, &failures);
     std::fs::write(&out, &json).map_err(|e| format!("{}: {e}", out.display()))?;
     println!("bench: wrote {}", out.display());
-    if failures.is_empty() {
+    if !failures.is_empty() {
+        return Err(format!("{} bench cell(s) failed", failures.len()));
+    }
+    if let Some(old) = baseline {
+        let new = parse_bench_report(&json).map_err(|e| format!("fresh report: {e}"))?;
+        return finish_compare(&old, &new, compare_config);
+    }
+    Ok(())
+}
+
+fn read_bench_report(
+    path: &std::path::Path,
+) -> Result<hydra_repro::forensics::BenchReportData, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_bench_report(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn finish_compare(
+    old: &hydra_repro::forensics::BenchReportData,
+    new: &hydra_repro::forensics::BenchReportData,
+    config: CompareConfig,
+) -> Result<(), String> {
+    let cmp = compare_reports(old, new, config);
+    print!("{}", cmp.render_table());
+    let n = cmp.regression_count();
+    if n == 0 {
         Ok(())
     } else {
-        Err(format!("{} bench cell(s) failed", failures.len()))
+        Err(format!("{n} bench regression(s) beyond tolerance"))
     }
 }
 
+fn parse_kinds(list: &str) -> Result<Vec<EventKind>, String> {
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            EventKind::from_name(name).ok_or_else(|| {
+                let valid: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown event kind {name:?}; valid: {}", valid.join(","))
+            })
+        })
+        .collect()
+}
+
+fn report_trace_sink(sink: &JsonlSink, filtered: u64) {
+    let mut note = format!("trace: {} event(s) on stdout", sink.written());
+    if sink.truncated() > 0 {
+        let _ = std::fmt::Write::write_fmt(
+            &mut note,
+            format_args!(", {} truncated past the cap", sink.truncated()),
+        );
+    }
+    if filtered > 0 {
+        let _ =
+            std::fmt::Write::write_fmt(&mut note, format_args!(", {filtered} filtered by --kinds"));
+    }
+    eprintln!("{note}");
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut kinds: Option<Vec<EventKind>> = None;
+    let mut limit: u64 = 1_000_000;
+    let mut forensics = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kinds" => {
+                i += 1;
+                kinds = Some(parse_kinds(args.get(i).ok_or("--kinds needs a value")?)?);
+            }
+            "--limit" => {
+                i += 1;
+                limit = args
+                    .get(i)
+                    .ok_or("--limit needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --limit")?;
+            }
+            "--forensics" => forensics = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown trace flag {flag}")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+
     let geom = MemGeometry::isca22_baseline();
-    let pattern = parse_pattern(args.first().ok_or("trace needs a pattern")?, geom)?;
-    let acts: u64 = args
+    let pattern = parse_pattern(positional.first().ok_or("trace needs a pattern")?, geom)?;
+    let acts: u64 = positional
         .get(1)
         .map_or(Ok(2_000), |s| s.parse().map_err(|_| "bad act count"))?;
     let config = HydraConfig::isca22_default(geom, 0).map_err(|e| e.to_string())?;
-    let tracker =
-        Hydra::with_probe(config, JsonlSink::with_limit(1_000_000)).map_err(|e| e.to_string())?;
+    let t_h = config.t_h;
+
+    // The kind filter sits in front of the JSONL recorder only: the
+    // forensics probe always sees the unfiltered stream.
+    let allowed: Vec<EventKind> = kinds.unwrap_or_else(|| EventKind::ALL.to_vec());
+    let recorder = KindFilterSink::new(
+        JsonlSink::with_limit(limit).with_meta(pattern.name(), t_h),
+        &allowed,
+    );
+
+    if forensics {
+        let probe = ForensicsProbe::new(t_h).with_workload(pattern.name());
+        let tracker =
+            Hydra::with_probe(config, TeeSink::new(recorder, probe)).map_err(|e| e.to_string())?;
+        let tee = run_trace(geom, tracker, &pattern, acts);
+        let (recorder, mut probe) = tee.into_parts();
+        probe.finish();
+        let filtered = recorder.filtered();
+        let sink = recorder.into_inner();
+        print!("{}", sink.as_str());
+        // Incident records share stdout; their "schema" stamp keeps them
+        // distinguishable from the "ev"-keyed trace lines.
+        print!("{}", incidents_to_jsonl(&probe.incidents()));
+        report_trace_sink(&sink, filtered);
+        let verdict = probe.verdict();
+        eprintln!(
+            "forensics: {} window(s), {} attack, dominant {}, {} incident(s)",
+            verdict.windows,
+            verdict.attack_windows,
+            verdict.dominant.name(),
+            probe.incidents().len()
+        );
+    } else {
+        let tracker = Hydra::with_probe(config, recorder).map_err(|e| e.to_string())?;
+        let recorder = run_trace(geom, tracker, &pattern, acts);
+        let filtered = recorder.filtered();
+        let sink = recorder.into_inner();
+        print!("{}", sink.as_str());
+        report_trace_sink(&sink, filtered);
+    }
+    Ok(())
+}
+
+/// Drives `acts` activations of `pattern` through a probed tracker and
+/// hands the probe back.
+fn run_trace<P: hydra_repro::telemetry::EventSink>(
+    geom: MemGeometry,
+    tracker: Hydra<hydra_repro::core::RowCountTable, P>,
+    pattern: &AttackPattern,
+    acts: u64,
+) -> P {
     let mut sim = ActivationSim::new(geom, tracker);
     let mut rows = pattern.rows(geom);
     for _ in 0..acts {
@@ -689,17 +856,85 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         row.channel = 0;
         sim.activate(row);
     }
-    let sink = sim.into_tracker().into_probe();
-    print!("{}", sink.as_str());
-    if sink.truncated() > 0 {
-        eprintln!(
-            "trace: {} event(s) on stdout, {} truncated past the cap",
-            sink.written(),
-            sink.truncated()
-        );
-    } else {
-        eprintln!("trace: {} event(s) on stdout", sink.written());
+    sim.into_tracker().into_probe()
+}
+
+fn cmd_forensics(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut t_h_override: Option<u32> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--t-h" => {
+                i += 1;
+                t_h_override = Some(
+                    args.get(i)
+                        .ok_or("--t-h needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --t-h")?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown forensics flag {flag}")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
     }
+    let path = positional.first().ok_or("forensics needs a trace file")?;
+    let text = std::fs::read_to_string(path.as_str()).map_err(|e| format!("{path}: {e}"))?;
+
+    // The trace meta header carries the run's T_H and workload; an explicit
+    // --t-h wins, and a headerless trace falls back to the default config.
+    let meta = text.lines().next().and_then(parse_trace_meta);
+    let default_t_h = HydraConfig::isca22_default(MemGeometry::isca22_baseline(), 0)
+        .map_err(|e| e.to_string())?
+        .t_h;
+    let t_h = t_h_override
+        .or(meta.as_ref().and_then(|m| m.t_h))
+        .unwrap_or(default_t_h);
+    let workload = meta.as_ref().and_then(|m| m.workload.clone());
+
+    let mut probe = ForensicsProbe::new(t_h);
+    if let Some(w) = &workload {
+        probe = probe.with_workload(w);
+    }
+    let summary = replay_trace(&text, &mut probe);
+    eprintln!(
+        "forensics: {path}: {} event(s) replayed, {} skipped, {} malformed, t_h {t_h}{}",
+        summary.events,
+        summary.skipped,
+        summary.malformed,
+        workload
+            .as_deref()
+            .map(|w| format!(", workload {w}"))
+            .unwrap_or_default(),
+    );
+    eprintln!(
+        "{:<8} {:<14} {:>6} {:>10} {:>8} {:>8} {:>8}  reason",
+        "window", "class", "conf", "acts", "per-row", "spills", "mitig"
+    );
+    for r in probe.reports() {
+        eprintln!(
+            "{:<8} {:<14} {:>6.2} {:>10} {:>8} {:>8} {:>8}  {}",
+            r.signals.window,
+            r.classification.class.name(),
+            r.classification.confidence,
+            r.signals.activations,
+            r.signals.per_row,
+            r.signals.spills,
+            r.signals.mitigations,
+            r.classification.reason,
+        );
+    }
+    print!("{}", incidents_to_jsonl(&probe.incidents()));
+    let verdict = probe.verdict();
+    eprintln!(
+        "verdict: {} ({}/{} attack window(s), max confidence {:.2})",
+        verdict.dominant.name(),
+        verdict.attack_windows,
+        verdict.windows,
+        verdict.max_confidence,
+    );
     Ok(())
 }
 

@@ -9,6 +9,7 @@
 //! * [`baselines`] — Graphene, CRA, PARA, OCPR, D-CBF, storage models
 //! * [`dram`] — DDR4 device timing, refresh and power models
 //! * [`faults`] — deterministic fault injection around the tracker
+//! * [`forensics`] — attack attribution, window classification, incident reports
 //! * [`sim`] — memory controller, LLC, core model, system simulator, batch harness
 //! * [`telemetry`] — event tracing seam, metric time-series, JSONL/CSV export
 //! * [`workloads`] — synthetic workload and attack-pattern generators
@@ -20,6 +21,7 @@ pub use hydra_baselines as baselines;
 pub use hydra_core as core;
 pub use hydra_dram as dram;
 pub use hydra_faults as faults;
+pub use hydra_forensics as forensics;
 pub use hydra_sim as sim;
 pub use hydra_telemetry as telemetry;
 pub use hydra_types as types;
