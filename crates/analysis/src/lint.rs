@@ -19,6 +19,12 @@
 //!   harness (`crates/sim/src/batch.rs`). Everywhere else a panic is a bug
 //!   that must surface; swallowing one mid-simulation would let a corrupted
 //!   run masquerade as a result.
+//! * **`thread-spawn-layer`** — thread creation (`thread::spawn`,
+//!   `thread::scope`, `thread::Builder`) may appear only in the parallel
+//!   execution engine (`crates/engine`) and the batch harness
+//!   (`crates/sim/src/batch.rs`). An ad-hoc thread anywhere else forks the
+//!   determinism story the engine was built to preserve; route parallel
+//!   work through `WorkerPool` or `BatchRunner` instead.
 //! * **`no-println`** — non-test library code must not call `println!` or
 //!   `eprintln!`: a library that writes to stdout/stderr corrupts
 //!   machine-readable output (JSONL traces, BENCH_*.json, CSV exports) and
@@ -26,7 +32,8 @@
 //!   accept callbacks, or use the telemetry sinks instead. Binaries,
 //!   examples, benches and test modules are exempt.
 //! * **`schema-single-source`** — each wire-format schema version literal
-//!   (`hydra-trace-v1`, `hydra-forensics-v1`, `hydra-bench-v1`) may be
+//!   (`hydra-trace-v1`, `hydra-forensics-v1`, `hydra-bench-v1`,
+//!   `hydra-sweep-v1`) may be
 //!   spelled out in at most one library file: the one that defines its
 //!   `*_SCHEMA_VERSION` constant. Everywhere else must import the constant,
 //!   so a schema bump is one edit, not a scavenger hunt. Doc comments and
@@ -52,7 +59,8 @@ pub struct LintDiagnostic {
     /// 1-based line number (0 = whole file).
     pub line: usize,
     /// Rule identifier (`forbid-unsafe`, `no-unwrap`, `doc-consistency`,
-    /// `catch-unwind-layer`, `no-println`, `schema-single-source`).
+    /// `catch-unwind-layer`, `thread-spawn-layer`, `no-println`,
+    /// `schema-single-source`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -75,13 +83,14 @@ impl fmt::Display for LintDiagnostic {
 /// paired with the re-exported constant that is their single source of
 /// truth. This table is the one place outside the defining files allowed
 /// to spell the literals out (see [`is_schema_registry`]).
-const SCHEMA_LITERALS: [(&str, &str); 3] = [
+const SCHEMA_LITERALS: [(&str, &str); 4] = [
     ("hydra-trace-v1", "hydra_telemetry::TRACE_SCHEMA_VERSION"),
     (
         "hydra-forensics-v1",
         "hydra_forensics::INCIDENT_SCHEMA_VERSION",
     ),
     ("hydra-bench-v1", "hydra_forensics::BENCH_SCHEMA_VERSION"),
+    ("hydra-sweep-v1", "hydra_engine::SWEEP_SCHEMA_VERSION"),
 ];
 
 /// A non-test code site where a schema literal was spelled out:
@@ -261,6 +270,26 @@ fn lint_library_source(
             });
         }
 
+        // Rule: thread-spawn-layer — thread creation is confined to the
+        // parallel engine and the batch harness, test modules included:
+        // the only sanctioned fan-out paths are WorkerPool and
+        // BatchRunner, whose own tests live in the allowed files.
+        if !is_thread_layer(file) {
+            for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                if code.contains(needle) {
+                    diagnostics.push(LintDiagnostic {
+                        file: file.to_path_buf(),
+                        line: lineno,
+                        rule: "thread-spawn-layer",
+                        message: format!(
+                            "{needle} outside the thread layer (crates/engine, crates/sim/src/batch.rs); run parallel work through WorkerPool or BatchRunner instead"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
         // Rule: no-unwrap (non-test library code only).
         if !in_test && (code.contains(".unwrap()") || code.contains(".expect(")) {
             diagnostics.push(LintDiagnostic {
@@ -413,6 +442,19 @@ fn is_panic_boundary(file: &Path) -> bool {
     tail.next().is_some_and(|c| c == "batch.rs")
         && tail.next().is_some_and(|c| c == "src")
         && tail.next().is_some_and(|c| c == "sim")
+}
+
+/// True for files allowed to create threads: the batch harness (already a
+/// panic boundary) and anything in the parallel execution engine at
+/// `crates/engine`.
+fn is_thread_layer(file: &Path) -> bool {
+    if is_panic_boundary(file) {
+        return true;
+    }
+    let comps: Vec<_> = file.components().map(|c| c.as_os_str()).collect();
+    comps
+        .windows(2)
+        .any(|w| w[0] == "crates" && w[1] == "engine")
 }
 
 /// Finds a `self.<field>.<method>(` pattern in a code line, returning the
@@ -655,6 +697,55 @@ mod tests {
         );
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "catch-unwind-layer");
+    }
+
+    #[test]
+    fn flags_thread_spawn_outside_the_thread_layer() {
+        let diags = lint_one("spawn", "pub fn f() {\n    std::thread::spawn(|| 1);\n}\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "thread-spawn-layer");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("thread::spawn"));
+    }
+
+    #[test]
+    fn thread_rule_covers_scoped_threads_and_builders_in_tests_too() {
+        let diags = lint_one(
+            "spawntest",
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        std::thread::scope(|s| { let _ = s; });\n        let _ = std::thread::Builder::new();\n    }\n}\n",
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "thread-spawn-layer"));
+    }
+
+    #[test]
+    fn allows_thread_spawn_in_the_engine_and_batch_harness() {
+        let root = scratch_dir("spawnok");
+        fs::create_dir_all(root.join("crates/engine/src")).unwrap();
+        fs::create_dir_all(root.join("crates/sim/src")).unwrap();
+        fs::write(root.join("src/lib.rs"), "#![forbid(unsafe_code)]\n").unwrap();
+        fs::write(
+            root.join("crates/engine/src/pool.rs"),
+            "pub fn f() {\n    std::thread::scope(|s| { let _ = s; });\n}\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("crates/sim/src/batch.rs"),
+            "pub fn g() {\n    let _ = std::thread::Builder::new();\n}\n",
+        )
+        .unwrap();
+        let diags = lint_workspace(&root).unwrap();
+        let _ = fs::remove_dir_all(&root);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn thread_sleep_is_not_thread_creation() {
+        let diags = lint_one(
+            "sleepok",
+            "pub fn f() {\n    std::thread::sleep(std::time::Duration::from_millis(1));\n    std::thread::yield_now();\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

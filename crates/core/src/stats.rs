@@ -124,6 +124,20 @@ impl HydraStats {
 
     for_each_stat!(stat_field_methods);
 
+    /// Merges another instance's counters into `self`.
+    ///
+    /// This is the reduction used when per-channel shards of a multi-channel
+    /// run are combined into system-wide totals (`hydra-engine`). It is the
+    /// same counter-wise sum as [`accumulate`](Self::accumulate) — named
+    /// separately because the sharded-merge contract is stronger than "add
+    /// windows up": merge is commutative and associative (u64 addition per
+    /// field, checked by proptest in `crates/core/tests/stats_merge.rs`), so
+    /// shard results can be combined in any completion order and still
+    /// produce bit-identical totals.
+    pub fn merge(&mut self, other: &HydraStats) {
+        self.accumulate(other);
+    }
+
     /// Fraction of activations handled by the GCT alone (Fig. 6's "GCT-Only",
     /// ≈90.7 % on average in the paper).
     pub fn gct_only_fraction(&self) -> f64 {

@@ -1,0 +1,861 @@
+//! Design-space exploration: declarative sweep grids, parallel execution,
+//! and the `hydra-sweep-v1` wire format.
+//!
+//! A [`SweepGrid`] is the cross product of tracker parameters (GCT entries,
+//! RCC entries, `T_RH`, `T_G` as a percentage of `T_H`) and workloads. Each
+//! resulting [`SweepCell`] is one full activation-level simulation; cells
+//! run through the parallel batch harness (`hydra_sim::batch`), so every
+//! cell keeps the harness's panic isolation, watchdog, and retry budget
+//! while many cells run concurrently.
+//!
+//! Determinism contract: a cell's result depends only on the cell — never
+//! on worker count, scheduling, or sibling cells — and results are reported
+//! in grid order. `--jobs 4` therefore produces byte-identical rows to
+//! `--jobs 1` once the one nondeterministic field (`wall_secs`, emitted
+//! last on each line) is excluded; [`SweepRow::deterministic_json`] is that
+//! projection, and the CI `sweep-smoke` job diffs it across job counts.
+//!
+//! The summary reduces the grid the way the paper's Figures 9–12 do:
+//! a Pareto frontier over (SRAM bytes, slowdown, mitigations) and a
+//! GCT-size trend check per (workload, `T_RH`) group — at a fixed
+//! threshold, growing the GCT must not increase mitigations or slowdown.
+
+use crate::EngineError;
+use hydra_core::{Hydra, HydraConfig, HydraStorage};
+use hydra_dram::DramTiming;
+use hydra_sim::batch::{BatchConfig, BatchJob, BatchRunner, JobStatus};
+use hydra_sim::ActivationSim;
+use hydra_types::addr::RowAddr;
+use hydra_types::error::ConfigError;
+use hydra_types::geometry::MemGeometry;
+use hydra_workloads::attacks::AttackPattern;
+use hydra_workloads::registry;
+use hydra_workloads::TraceSource as _;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Version tag stamped on every `hydra sweep` JSONL line. This constant is
+/// the only place the literal may appear in library code (enforced by
+/// `repo-lint`'s schema-single-source rule).
+pub const SWEEP_SCHEMA_VERSION: &str = "hydra-sweep-v1";
+
+/// Refresh-window scaling applied to every sweep cell, matching the bench
+/// harness: a short run still crosses many tracking windows.
+const WINDOW_SCALE: u64 = 1000;
+
+/// A declarative sweep grid. Cells are the cross product of every list, in
+/// deterministic nested order: workload (outermost), then `t_rh`, `tg_pct`,
+/// `gct_entries`, `rcc_entries` (innermost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepGrid {
+    /// Geometry name (`tiny`, `isca22`, or `ddr5`).
+    pub geometry: String,
+    /// GCT entry counts to sweep (per instance).
+    pub gct_entries: Vec<usize>,
+    /// RCC entry counts to sweep (per instance).
+    pub rcc_entries: Vec<usize>,
+    /// Row-Hammer thresholds to sweep (`T_H = T_RH / 2`).
+    pub t_rh: Vec<u32>,
+    /// `T_G` as a percentage of `T_H` (the paper's default is 80).
+    pub tg_pct: Vec<u32>,
+    /// Workload names: registry workloads or canonical attack patterns.
+    pub workloads: Vec<String>,
+    /// Demand activations per cell.
+    pub acts: u64,
+    /// Trace seed shared by every cell.
+    pub seed: u64,
+}
+
+impl SweepGrid {
+    /// The CI smoke grid: tiny geometry, a three-point GCT sweep at a fixed
+    /// `T_RH`, one benign and one attack workload. Small enough to finish
+    /// in seconds, wide enough that the GCT-size trend (mitigation and
+    /// slowdown overhead falling as the GCT grows) is visible.
+    pub fn smoke() -> Self {
+        SweepGrid {
+            geometry: "tiny".to_string(),
+            gct_entries: vec![64, 256, 1024],
+            rcc_entries: vec![64],
+            t_rh: vec![32],
+            tg_pct: vec![80],
+            workloads: vec!["gups".to_string(), "double_sided".to_string()],
+            acts: 20_000,
+            seed: 42,
+        }
+    }
+
+    /// Resolves the geometry name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for an unknown name.
+    pub fn resolve_geometry(&self) -> Result<MemGeometry, EngineError> {
+        match self.geometry.as_str() {
+            "tiny" => Ok(MemGeometry::tiny()),
+            "isca22" => Ok(MemGeometry::isca22_baseline()),
+            "ddr5" => Ok(MemGeometry::ddr5_32gb()),
+            other => Err(EngineError::new(format!("unknown geometry {other}"))),
+        }
+    }
+
+    /// Expands the grid into cells, in deterministic nested order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the geometry is unknown, any list is
+    /// empty, or a workload name is neither a registry workload nor a
+    /// canonical attack pattern.
+    pub fn cells(&self) -> Result<Vec<SweepCell>, EngineError> {
+        let geometry = self.resolve_geometry()?;
+        for (name, len) in [
+            ("gct_entries", self.gct_entries.len()),
+            ("rcc_entries", self.rcc_entries.len()),
+            ("t_rh", self.t_rh.len()),
+            ("tg_pct", self.tg_pct.len()),
+            ("workloads", self.workloads.len()),
+        ] {
+            if len == 0 {
+                return Err(EngineError::new(format!("empty sweep axis {name}")));
+            }
+        }
+        let mut cells = Vec::new();
+        for workload in &self.workloads {
+            if registry::by_name(workload).is_none()
+                && AttackPattern::canonical(workload, geometry).is_none()
+            {
+                return Err(EngineError::new(format!("unknown workload {workload}")));
+            }
+            for &t_rh in &self.t_rh {
+                for &tg_pct in &self.tg_pct {
+                    for &gct in &self.gct_entries {
+                        for &rcc in &self.rcc_entries {
+                            cells.push(SweepCell {
+                                geometry,
+                                geometry_name: self.geometry.clone(),
+                                workload: workload.clone(),
+                                gct_entries: gct,
+                                rcc_entries: rcc,
+                                t_rh,
+                                tg_pct,
+                                acts: self.acts,
+                                seed: self.seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+}
+
+/// One point of the design space: a tracker configuration × workload pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Resolved geometry.
+    pub geometry: MemGeometry,
+    /// The geometry's name, carried into the output row.
+    pub geometry_name: String,
+    /// Workload or attack-pattern name.
+    pub workload: String,
+    /// GCT entries for this instance.
+    pub gct_entries: usize,
+    /// RCC entries for this instance.
+    pub rcc_entries: usize,
+    /// Row-Hammer threshold.
+    pub t_rh: u32,
+    /// `T_G` as a percentage of `T_H`.
+    pub tg_pct: u32,
+    /// Demand activations to replay.
+    pub acts: u64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl SweepCell {
+    /// The cell's stable label (also the batch-job label).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/trh{}/tg{}/gct{}/rcc{}",
+            self.workload, self.t_rh, self.tg_pct, self.gct_entries, self.rcc_entries
+        )
+    }
+
+    /// `T_H` for this cell (`T_RH / 2`, Sec. 4.6).
+    pub fn t_h(&self) -> u32 {
+        self.t_rh / 2
+    }
+
+    /// `T_G` for this cell: `tg_pct` percent of `T_H`, clamped into the
+    /// valid `[1, T_H)` range.
+    pub fn t_g(&self) -> u32 {
+        let t_h = self.t_h();
+        (t_h * self.tg_pct / 100).clamp(1, t_h.saturating_sub(1).max(1))
+    }
+
+    /// Builds the tracker configuration for this cell (channel 0 — sweep
+    /// cells route their whole stream to one instance, like the bench
+    /// matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for parameter combinations the tracker
+    /// rejects (e.g. a GCT larger than the channel's row count).
+    pub fn config(&self) -> Result<HydraConfig, ConfigError> {
+        HydraConfig::builder(self.geometry, 0)
+            .thresholds(self.t_h(), self.t_g())
+            .gct_entries(self.gct_entries)
+            .rcc_entries(self.rcc_entries)
+            .build()
+    }
+
+    /// Materializes the cell's activation stream: a registry workload's
+    /// trace mapped to rows, or a canonical attack pattern pinned to
+    /// channel 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the workload name resolves to neither.
+    pub fn rows(&self) -> Result<Vec<RowAddr>, String> {
+        if let Some(spec) = registry::by_name(&self.workload) {
+            let mut trace = spec.build(self.geometry, 256, self.seed);
+            return Ok((0..self.acts)
+                .map(|_| {
+                    let mut row = self.geometry.row_of_line(trace.next_op().addr);
+                    row.channel = 0;
+                    row
+                })
+                .collect());
+        }
+        let pattern = AttackPattern::canonical(&self.workload, self.geometry)
+            .ok_or_else(|| format!("unknown workload {}", self.workload))?;
+        let mut rows = pattern.rows(self.geometry);
+        Ok((0..self.acts)
+            .map(|_| {
+                let mut row = rows.next_row();
+                row.channel = 0;
+                row
+            })
+            .collect())
+    }
+
+    /// Runs the cell: builds the tracker, replays the stream, and reduces
+    /// to one [`SweepRow`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any configuration or workload failure.
+    pub fn run(&self) -> Result<SweepRow, String> {
+        let config = self.config().map_err(|e| e.to_string())?;
+        let sram_bytes = HydraStorage::for_instance(&config).total_sram_bytes();
+        let tracker = Hydra::new(config).map_err(|e| e.to_string())?;
+        let timing = DramTiming::ddr4_3200().with_scaled_window(WINDOW_SCALE);
+        let mut sim = ActivationSim::new(self.geometry, tracker).with_timing(timing);
+        let rows = self.rows()?;
+        let start = Instant::now();
+        let report = sim.run(rows);
+        let wall_secs = start.elapsed().as_secs_f64();
+        let stats = sim.tracker().stats();
+        Ok(SweepRow {
+            workload: self.workload.clone(),
+            geometry: self.geometry_name.clone(),
+            gct_entries: self.gct_entries,
+            rcc_entries: self.rcc_entries,
+            t_rh: self.t_rh,
+            t_h: self.t_h(),
+            t_g: self.t_g(),
+            acts: self.acts,
+            seed: self.seed,
+            sram_bytes,
+            demand_acts: report.demand_acts,
+            mitigation_acts: report.mitigation_acts,
+            side_reads: report.side_reads,
+            side_writes: report.side_writes,
+            mitigations: report.mitigations,
+            window_resets: report.window_resets,
+            group_spills: stats.group_spills,
+            gct_only: stats.gct_only,
+            rcc_hits: stats.rcc_hits,
+            rct_accesses: stats.rct_accesses,
+            wall_secs,
+        })
+    }
+}
+
+/// One `hydra-sweep-v1` result row. Every field except `wall_secs` is a
+/// pure function of the cell, so rows compare identically across job
+/// counts; derived ratios are recomputed from the integer counters at
+/// serialization time rather than stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Workload name.
+    pub workload: String,
+    /// Geometry name.
+    pub geometry: String,
+    /// GCT entries.
+    pub gct_entries: usize,
+    /// RCC entries.
+    pub rcc_entries: usize,
+    /// Row-Hammer threshold.
+    pub t_rh: u32,
+    /// Tracking threshold.
+    pub t_h: u32,
+    /// GCT threshold.
+    pub t_g: u32,
+    /// Demand activations requested.
+    pub acts: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Instance SRAM bytes (GCT + RCC + RIT-ACT).
+    pub sram_bytes: u64,
+    /// Demand activations replayed.
+    pub demand_acts: u64,
+    /// Victim-refresh activations.
+    pub mitigation_acts: u64,
+    /// Tracker metadata reads.
+    pub side_reads: u64,
+    /// Tracker metadata writes.
+    pub side_writes: u64,
+    /// Mitigations issued.
+    pub mitigations: u64,
+    /// Tracking-window resets.
+    pub window_resets: u64,
+    /// Group spills (GCT entries reaching `T_G`).
+    pub group_spills: u64,
+    /// Activations handled by the GCT alone.
+    pub gct_only: u64,
+    /// Activations hitting in the RCC.
+    pub rcc_hits: u64,
+    /// Activations requiring a DRAM RCT access.
+    pub rct_accesses: u64,
+    /// Wall-clock seconds for this cell — the one nondeterministic field,
+    /// emitted last and excluded from [`deterministic_json`](Self::deterministic_json).
+    pub wall_secs: f64,
+}
+
+impl SweepRow {
+    /// Total DRAM operations charged.
+    pub fn total_ops(&self) -> u64 {
+        self.demand_acts + self.mitigation_acts + self.side_reads + self.side_writes
+    }
+
+    /// Simulated slowdown proxy: extra DRAM operations per demand
+    /// activation, as a percentage.
+    pub fn slowdown_pct(&self) -> f64 {
+        if self.demand_acts == 0 {
+            0.0
+        } else {
+            (self.total_ops() as f64 / self.demand_acts as f64 - 1.0) * 100.0
+        }
+    }
+
+    /// Exact slowdown comparison: is `self` strictly slower than `other`?
+    /// Cross-multiplied integer ratios, so the answer never depends on
+    /// floating-point rounding.
+    pub fn slower_than(&self, other: &SweepRow) -> bool {
+        let (a_ops, a_acts) = (
+            u128::from(self.total_ops()),
+            u128::from(self.demand_acts.max(1)),
+        );
+        let (b_ops, b_acts) = (
+            u128::from(other.total_ops()),
+            u128::from(other.demand_acts.max(1)),
+        );
+        a_ops * b_acts > b_ops * a_acts
+    }
+
+    /// The deterministic projection of this row, shared by both
+    /// serializations (every field except `wall_secs`), without the
+    /// closing brace.
+    fn json_body(&self) -> String {
+        let mut out = String::with_capacity(384);
+        out.push_str("{\"schema\":\"");
+        out.push_str(SWEEP_SCHEMA_VERSION);
+        out.push_str("\",\"kind\":\"cell\",\"workload\":\"");
+        escape_into(&self.workload, &mut out);
+        out.push_str("\",\"geometry\":\"");
+        escape_into(&self.geometry, &mut out);
+        let _ = write!(
+            out,
+            concat!(
+                "\",\"gct_entries\":{},\"rcc_entries\":{},",
+                "\"t_rh\":{},\"t_h\":{},\"t_g\":{},\"acts\":{},\"seed\":{},",
+                "\"sram_bytes\":{},\"demand_acts\":{},\"mitigation_acts\":{},",
+                "\"side_reads\":{},\"side_writes\":{},\"mitigations\":{},",
+                "\"window_resets\":{},\"group_spills\":{},\"gct_only\":{},",
+                "\"rcc_hits\":{},\"rct_accesses\":{},\"slowdown_pct\":{:.4}"
+            ),
+            self.gct_entries,
+            self.rcc_entries,
+            self.t_rh,
+            self.t_h,
+            self.t_g,
+            self.acts,
+            self.seed,
+            self.sram_bytes,
+            self.demand_acts,
+            self.mitigation_acts,
+            self.side_reads,
+            self.side_writes,
+            self.mitigations,
+            self.window_resets,
+            self.group_spills,
+            self.gct_only,
+            self.rcc_hits,
+            self.rct_accesses,
+            self.slowdown_pct(),
+        );
+        out
+    }
+
+    /// The full JSONL line, `wall_secs` last.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = self.json_body();
+        let _ = write!(out, ",\"wall_secs\":{:.6}}}", self.wall_secs);
+        out
+    }
+
+    /// The row without its wall-clock field — identical across `--jobs`
+    /// settings; the determinism gate diffs exactly this.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = self.json_body();
+        out.push('}');
+        out
+    }
+}
+
+/// One GCT-trend comparison: within a (workload, `T_RH`, RCC, `T_G`%)
+/// group, the smallest-GCT cell against the largest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendCheck {
+    /// Workload name.
+    pub workload: String,
+    /// Row-Hammer threshold of the group.
+    pub t_rh: u32,
+    /// Smallest GCT in the group.
+    pub gct_low: usize,
+    /// Largest GCT in the group.
+    pub gct_high: usize,
+    /// Mitigations at the smallest GCT.
+    pub mitigations_low: u64,
+    /// Mitigations at the largest GCT.
+    pub mitigations_high: u64,
+    /// Slowdown at the smallest GCT.
+    pub slowdown_low_pct: f64,
+    /// Slowdown at the largest GCT.
+    pub slowdown_high_pct: f64,
+    /// True iff growing the GCT did not increase mitigations or slowdown.
+    pub ok: bool,
+}
+
+/// The result of a whole sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The grid that produced it.
+    pub grid: SweepGrid,
+    /// Completed rows, in grid order.
+    pub rows: Vec<SweepRow>,
+    /// Labels and errors of cells that failed terminally.
+    pub failures: Vec<String>,
+}
+
+impl SweepOutcome {
+    /// Indices (into [`rows`](Self::rows)) of the Pareto frontier
+    /// minimizing (SRAM bytes, slowdown, mitigations), ascending.
+    pub fn pareto(&self) -> Vec<usize> {
+        pareto_frontier(&self.rows)
+    }
+
+    /// GCT-size trend checks, one per (workload, `T_RH`, RCC, `T_G`%)
+    /// group with at least two distinct GCT sizes.
+    pub fn trend_checks(&self) -> Vec<TrendCheck> {
+        gct_trend(&self.rows)
+    }
+
+    /// True iff every trend check passed (vacuously true with no groups).
+    pub fn trend_ok(&self) -> bool {
+        self.trend_checks().iter().all(|t| t.ok)
+    }
+
+    /// The complete `hydra-sweep-v1` report: a meta line, one line per
+    /// cell (in grid order, `wall_secs` last), and a summary line with the
+    /// Pareto frontier and trend checks.
+    pub fn jsonl_lines(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(self.rows.len() + 2);
+        lines.push(self.meta_line());
+        lines.extend(self.rows.iter().map(SweepRow::to_jsonl));
+        lines.push(self.summary_line());
+        lines
+    }
+
+    /// The deterministic projection used by the `--jobs` equivalence gate:
+    /// every line of [`jsonl_lines`](Self::jsonl_lines) except that cell
+    /// rows drop `wall_secs`.
+    pub fn deterministic_lines(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(self.rows.len() + 2);
+        lines.push(self.meta_line());
+        lines.extend(self.rows.iter().map(SweepRow::deterministic_json));
+        lines.push(self.summary_line());
+        lines
+    }
+
+    fn meta_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":\"");
+        out.push_str(SWEEP_SCHEMA_VERSION);
+        out.push_str("\",\"kind\":\"meta\",\"geometry\":\"");
+        escape_into(&self.grid.geometry, &mut out);
+        out.push_str("\",\"workloads\":[");
+        for (i, w) in self.grid.workloads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(w, &mut out);
+            out.push('"');
+        }
+        let _ = write!(
+            out,
+            "],\"gct_entries\":{:?},\"rcc_entries\":{:?},\"t_rh\":{:?},\"tg_pct\":{:?},\"acts\":{},\"seed\":{}}}",
+            self.grid.gct_entries,
+            self.grid.rcc_entries,
+            self.grid.t_rh,
+            self.grid.tg_pct,
+            self.grid.acts,
+            self.grid.seed,
+        );
+        out
+    }
+
+    fn summary_line(&self) -> String {
+        let pareto = self.pareto();
+        let trends = self.trend_checks();
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"schema\":\"");
+        out.push_str(SWEEP_SCHEMA_VERSION);
+        let _ = write!(
+            out,
+            "\",\"kind\":\"summary\",\"cells\":{},\"failed\":{},\"pareto\":[",
+            self.rows.len() + self.failures.len(),
+            self.failures.len(),
+        );
+        for (i, &idx) in pareto.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let row = &self.rows[idx];
+            let _ = write!(
+                out,
+                concat!(
+                    "{{\"workload\":\"{}\",\"gct_entries\":{},\"rcc_entries\":{},",
+                    "\"t_rh\":{},\"sram_bytes\":{},\"slowdown_pct\":{:.4},\"mitigations\":{}}}"
+                ),
+                row.workload,
+                row.gct_entries,
+                row.rcc_entries,
+                row.t_rh,
+                row.sram_bytes,
+                row.slowdown_pct(),
+                row.mitigations,
+            );
+        }
+        out.push_str("],\"trend\":[");
+        for (i, t) in trends.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                concat!(
+                    "{{\"workload\":\"{}\",\"t_rh\":{},\"gct_low\":{},\"gct_high\":{},",
+                    "\"mitigations_low\":{},\"mitigations_high\":{},",
+                    "\"slowdown_low_pct\":{:.4},\"slowdown_high_pct\":{:.4},\"ok\":{}}}"
+                ),
+                t.workload,
+                t.t_rh,
+                t.gct_low,
+                t.gct_high,
+                t.mitigations_low,
+                t.mitigations_high,
+                t.slowdown_low_pct,
+                t.slowdown_high_pct,
+                t.ok,
+            );
+        }
+        let _ = write!(out, "],\"trend_ok\":{}}}", self.trend_ok());
+        out
+    }
+}
+
+/// One sweep cell as a batch job, so the harness's panic isolation,
+/// watchdog, and retries apply per cell.
+pub struct SweepCellJob {
+    cell: SweepCell,
+}
+
+impl BatchJob for SweepCellJob {
+    type Output = SweepRow;
+
+    fn label(&self) -> String {
+        self.cell.label()
+    }
+
+    fn run(&self, _attempt: u32) -> Result<SweepRow, String> {
+        self.cell.run()
+    }
+
+    fn replay_artifact(&self) -> Option<String> {
+        let c = &self.cell;
+        Some(format!(
+            "hydra-sweep-replay\nworkload={}\ngeometry={}\ngct_entries={}\n\
+             rcc_entries={}\nt_rh={}\ntg_pct={}\nacts={}\nseed={}\n",
+            c.workload,
+            c.geometry_name,
+            c.gct_entries,
+            c.rcc_entries,
+            c.t_rh,
+            c.tg_pct,
+            c.acts,
+            c.seed,
+        ))
+    }
+}
+
+/// Expands `grid` and runs every cell through the batch harness with the
+/// given policy (`batch.jobs` controls parallelism). Rows come back in
+/// grid order regardless of completion order.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the grid itself is invalid; individual cell
+/// failures are reported in [`SweepOutcome::failures`], not as errors.
+pub fn run_sweep(grid: &SweepGrid, batch: BatchConfig) -> Result<SweepOutcome, EngineError> {
+    let cells = grid.cells()?;
+    let jobs: Vec<SweepCellJob> = cells
+        .into_iter()
+        .map(|cell| SweepCellJob { cell })
+        .collect();
+    let report = BatchRunner::new(batch).run(jobs);
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for job in report.jobs {
+        match (job.status, job.output) {
+            (JobStatus::Succeeded { .. }, Some(row)) => rows.push(row),
+            (JobStatus::Failed { last_error, .. }, _) => {
+                failures.push(format!("{}: {last_error}", job.label));
+            }
+            (JobStatus::TimedOut { .. }, _) => {
+                failures.push(format!("{}: watchdog timeout", job.label));
+            }
+            (JobStatus::Succeeded { .. }, None) => {
+                failures.push(format!("{}: succeeded without output", job.label));
+            }
+        }
+    }
+    Ok(SweepOutcome {
+        grid: grid.clone(),
+        rows,
+        failures,
+    })
+}
+
+/// Indices of the rows not dominated on (SRAM bytes, slowdown,
+/// mitigations), all minimized. Row `a` dominates row `b` when it is no
+/// worse on every axis and strictly better on at least one; slowdown is
+/// compared exactly (integer cross-multiplication). Ascending index order.
+pub fn pareto_frontier(rows: &[SweepRow]) -> Vec<usize> {
+    let dominates = |a: &SweepRow, b: &SweepRow| {
+        let no_worse =
+            a.sram_bytes <= b.sram_bytes && a.mitigations <= b.mitigations && !a.slower_than(b);
+        let better =
+            a.sram_bytes < b.sram_bytes || a.mitigations < b.mitigations || b.slower_than(a);
+        no_worse && better
+    };
+    (0..rows.len())
+        .filter(|&i| !rows.iter().any(|other| dominates(other, &rows[i])))
+        .collect()
+}
+
+/// GCT-size trend checks: rows are grouped by (workload, `T_RH`, RCC
+/// entries, `T_G`%); each group with at least two distinct GCT sizes
+/// compares its smallest-GCT row against its largest. The paper's
+/// qualitative shape (Fig. 9): at a fixed threshold, a larger GCT means
+/// fewer groups spill, so tracking overhead and spurious mitigations fall.
+pub fn gct_trend(rows: &[SweepRow]) -> Vec<TrendCheck> {
+    let mut keys: Vec<(&str, u32, usize, u32)> = rows
+        .iter()
+        .map(|r| (r.workload.as_str(), r.t_rh, r.rcc_entries, r.t_g))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut checks = Vec::new();
+    for (workload, t_rh, rcc, t_g) in keys {
+        let group: Vec<&SweepRow> = rows
+            .iter()
+            .filter(|r| {
+                r.workload == workload && r.t_rh == t_rh && r.rcc_entries == rcc && r.t_g == t_g
+            })
+            .collect();
+        let low = group.iter().min_by_key(|r| r.gct_entries);
+        let high = group.iter().max_by_key(|r| r.gct_entries);
+        let (Some(low), Some(high)) = (low, high) else {
+            continue;
+        };
+        if low.gct_entries == high.gct_entries {
+            continue;
+        }
+        let ok = high.mitigations <= low.mitigations && !high.slower_than(low);
+        checks.push(TrendCheck {
+            workload: workload.to_string(),
+            t_rh,
+            gct_low: low.gct_entries,
+            gct_high: high.gct_entries,
+            mitigations_low: low.mitigations,
+            mitigations_high: high.mitigations,
+            slowdown_low_pct: low.slowdown_pct(),
+            slowdown_high_pct: high.slowdown_pct(),
+            ok,
+        });
+    }
+    checks
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(workload: &str, gct: usize, sram: u64, mitigations: u64, side: u64) -> SweepRow {
+        SweepRow {
+            workload: workload.to_string(),
+            geometry: "tiny".to_string(),
+            gct_entries: gct,
+            rcc_entries: 64,
+            t_rh: 32,
+            t_h: 16,
+            t_g: 12,
+            acts: 1000,
+            seed: 42,
+            sram_bytes: sram,
+            demand_acts: 1000,
+            mitigation_acts: 0,
+            side_reads: side,
+            side_writes: 0,
+            mitigations,
+            window_resets: 3,
+            group_spills: 0,
+            gct_only: 1000,
+            rcc_hits: 0,
+            rct_accesses: 0,
+            wall_secs: 0.5,
+        }
+    }
+
+    #[test]
+    fn smoke_grid_expands_in_deterministic_order() {
+        let grid = SweepGrid::smoke();
+        let cells = match grid.cells() {
+            Ok(c) => c,
+            Err(e) => panic!("cells: {e}"),
+        };
+        assert_eq!(cells.len(), 6, "2 workloads × 3 GCT sizes");
+        assert_eq!(cells[0].workload, "gups");
+        assert_eq!(cells[0].gct_entries, 64);
+        assert_eq!(cells[2].gct_entries, 1024);
+        assert_eq!(cells[3].workload, "double_sided");
+    }
+
+    #[test]
+    fn unknown_workload_and_geometry_are_rejected() {
+        let mut grid = SweepGrid::smoke();
+        grid.workloads = vec!["no-such-workload".to_string()];
+        assert!(grid.cells().is_err());
+        let mut grid = SweepGrid::smoke();
+        grid.geometry = "no-such-geometry".to_string();
+        assert!(grid.cells().is_err());
+        let mut grid = SweepGrid::smoke();
+        grid.gct_entries.clear();
+        assert!(grid.cells().is_err());
+    }
+
+    #[test]
+    fn tg_clamps_into_valid_range() {
+        let mut cell = match SweepGrid::smoke().cells() {
+            Ok(mut c) => c.remove(0),
+            Err(e) => panic!("cells: {e}"),
+        };
+        cell.tg_pct = 100;
+        assert!(cell.t_g() < cell.t_h());
+        cell.tg_pct = 0;
+        assert_eq!(cell.t_g(), 1);
+    }
+
+    #[test]
+    fn deterministic_json_drops_only_wall_secs() {
+        let mut a = row("gups", 64, 1000, 5, 100);
+        let mut b = a.clone();
+        b.wall_secs = 99.0;
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert_ne!(a.to_jsonl(), b.to_jsonl());
+        assert!(a.to_jsonl().ends_with("}"));
+        let det = a.deterministic_json();
+        assert!(det.contains("\"schema\":\"hydra-sweep-v1\""));
+        assert!(!det.contains("wall_secs"));
+        a.mitigations = 6;
+        assert_ne!(a.deterministic_json(), b.deterministic_json());
+    }
+
+    #[test]
+    fn pareto_keeps_only_non_dominated_rows() {
+        let rows = vec![
+            row("gups", 64, 1000, 10, 100), // dominated by index 2
+            row("gups", 256, 2000, 2, 50),  // frontier: fewer mitigations
+            row("gups", 128, 1000, 5, 80),  // frontier: cheapest non-dominated
+            row("gups", 512, 4000, 5, 200), // dominated by index 1
+        ];
+        assert_eq!(pareto_frontier(&rows), vec![1, 2]);
+    }
+
+    #[test]
+    fn trend_compares_gct_extremes() {
+        let rows = vec![
+            row("double_sided", 64, 1000, 50, 400),
+            row("double_sided", 256, 2000, 40, 200),
+            row("double_sided", 1024, 4000, 30, 100),
+        ];
+        let checks = gct_trend(&rows);
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].gct_low, 64);
+        assert_eq!(checks[0].gct_high, 1024);
+        assert!(checks[0].ok);
+        // A regressing trend (more mitigations at a bigger GCT) fails.
+        let rows = vec![
+            row("double_sided", 64, 1000, 10, 100),
+            row("double_sided", 1024, 4000, 30, 100),
+        ];
+        assert!(!gct_trend(&rows)[0].ok);
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        let mut out = String::new();
+        escape_into("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,102 @@
+//! The sweep determinism gate, as a test: `hydra sweep --smoke` with four
+//! workers must produce exactly the rows, Pareto frontier, and trend
+//! verdicts of the sequential run — only `wall_secs` may differ, and the
+//! deterministic projection strips it.
+//!
+//! This is the same invariant CI's `sweep-smoke` job and
+//! `hydra-audit --sweep` enforce on the shipped binaries; here it runs
+//! in-process so a regression is caught by `cargo test` before either.
+
+use hydra_engine::sweep::{run_sweep, SweepGrid, SWEEP_SCHEMA_VERSION};
+use hydra_sim::batch::BatchConfig;
+use std::time::Duration;
+
+fn batch(jobs: usize) -> BatchConfig {
+    BatchConfig {
+        retries: 1,
+        backoff_base: Duration::from_millis(10),
+        watchdog: Duration::from_secs(300),
+        artifact_dir: None,
+        jobs,
+    }
+}
+
+#[test]
+fn smoke_sweep_is_identical_across_worker_counts() {
+    let grid = SweepGrid::smoke();
+    let sequential = run_sweep(&grid, batch(1)).expect("sequential sweep");
+    let parallel = run_sweep(&grid, batch(4)).expect("parallel sweep");
+
+    assert!(sequential.failures.is_empty(), "{:?}", sequential.failures);
+    assert!(parallel.failures.is_empty(), "{:?}", parallel.failures);
+    // Whole-row equality would compare wall_secs too; everything except
+    // the wall clock must match, which is exactly the deterministic
+    // projection.
+    for (s, p) in sequential.rows.iter().zip(parallel.rows.iter()) {
+        assert_eq!(s.deterministic_json(), p.deterministic_json());
+    }
+    assert_eq!(
+        sequential.deterministic_lines(),
+        parallel.deterministic_lines(),
+        "deterministic projections must be byte-identical"
+    );
+    assert_eq!(sequential.pareto(), parallel.pareto());
+    assert_eq!(
+        sequential.trend_checks().len(),
+        parallel.trend_checks().len()
+    );
+}
+
+#[test]
+fn smoke_sweep_satisfies_the_paper_shaped_invariants() {
+    let outcome = run_sweep(&SweepGrid::smoke(), batch(4)).expect("smoke sweep");
+
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    assert_eq!(
+        outcome.rows.len(),
+        SweepGrid::smoke().cells().expect("cells").len(),
+        "every cell must complete"
+    );
+    assert!(
+        !outcome.pareto().is_empty(),
+        "a non-degenerate grid has a Pareto frontier"
+    );
+    assert!(
+        !outcome.trend_checks().is_empty(),
+        "the smoke grid spans multiple GCT sizes, so trend groups exist"
+    );
+    assert!(
+        outcome.trend_ok(),
+        "growing the GCT at fixed T_RH must not raise mitigations or slowdown: {:?}",
+        outcome.trend_checks()
+    );
+}
+
+#[test]
+fn jsonl_output_is_schema_versioned_and_well_formed() {
+    let outcome = run_sweep(&SweepGrid::smoke(), batch(2)).expect("smoke sweep");
+    let lines = outcome.jsonl_lines();
+
+    // meta line + one line per cell + summary line.
+    assert_eq!(lines.len(), outcome.rows.len() + 2);
+    let meta = &lines[0];
+    assert!(meta.contains("\"kind\":\"meta\""), "{meta}");
+    assert!(
+        meta.contains(&format!("\"schema\":\"{SWEEP_SCHEMA_VERSION}\"")),
+        "{meta}"
+    );
+    for line in &lines[1..lines.len() - 1] {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"kind\":\"cell\""), "{line}");
+        assert!(line.contains("\"wall_secs\":"), "{line}");
+    }
+    let summary = lines.last().expect("summary line");
+    assert!(summary.contains("\"kind\":\"summary\""), "{summary}");
+    assert!(summary.contains("\"pareto\":"), "{summary}");
+    assert!(summary.contains("\"trend_ok\":"), "{summary}");
+
+    // The deterministic projection is the same shape minus wall clocks.
+    let det = outcome.deterministic_lines();
+    assert_eq!(det.len(), lines.len());
+    assert!(det.iter().all(|l| !l.contains("wall_secs")));
+}

@@ -16,10 +16,11 @@
 //! panics into structured [`JobStatus`] values at the boundary.
 
 use std::any::Any;
+use std::collections::VecDeque;
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -68,6 +69,12 @@ pub struct BatchConfig {
     /// Where to write replay artifacts of terminally failed jobs.
     /// `None` disables artifact emission.
     pub artifact_dir: Option<PathBuf>,
+    /// Jobs run concurrently. The default of 1 preserves the original
+    /// strictly sequential execution (byte-identical output ordering for
+    /// existing consumers); higher values fan jobs across worker threads.
+    /// Reports are returned in submission order either way, and each job
+    /// keeps its own isolation thread, watchdog, and retry budget.
+    pub jobs: usize,
 }
 
 impl Default for BatchConfig {
@@ -77,6 +84,7 @@ impl Default for BatchConfig {
             backoff_base: Duration::from_millis(50),
             watchdog: Duration::from_secs(60),
             artifact_dir: None,
+            jobs: 1,
         }
     }
 }
@@ -167,7 +175,9 @@ impl<T> BatchReport<T> {
     }
 }
 
-/// Runs jobs sequentially, each attempt isolated on its own thread.
+/// Runs jobs — sequentially by default, or fanned across worker threads
+/// when [`BatchConfig::jobs`] > 1 — each attempt isolated on its own
+/// thread.
 #[derive(Debug, Clone, Default)]
 pub struct BatchRunner {
     config: BatchConfig,
@@ -191,11 +201,65 @@ impl BatchRunner {
         &self.config
     }
 
-    /// Executes every job and reports. Jobs run one at a time in
-    /// submission order (determinism beats throughput here); isolation,
-    /// not parallelism, is what the per-attempt threads buy.
+    /// Executes every job and reports, in submission order.
+    ///
+    /// With [`BatchConfig::jobs`] = 1 (the default) jobs run one at a time
+    /// on the calling thread's schedule, exactly as the original sequential
+    /// runner did. With more, jobs are pulled off a shared queue by that
+    /// many workers; because every job is independent and reports are
+    /// reordered by submission index, the returned [`BatchReport`] is
+    /// identical (minus wall-clock) regardless of the worker count.
     pub fn run<J: BatchJob>(&self, jobs: Vec<J>) -> BatchReport<J::Output> {
-        let reports = jobs.into_iter().map(|job| self.run_job(job)).collect();
+        let n = jobs.len();
+        let workers = self.config.jobs.max(1).min(n.max(1));
+        if workers <= 1 {
+            let reports = jobs.into_iter().map(|job| self.run_job(job)).collect();
+            return BatchReport { jobs: reports };
+        }
+        let queue: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+        let (tx, rx) = mpsc::channel();
+        let mut slots: Vec<Option<JobReport<J::Output>>> = (0..n).map(|_| None).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                scope.spawn(move || loop {
+                    let next = match queue.lock() {
+                        Ok(mut q) => q.pop_front(),
+                        // Poisoned queue: a sibling worker died holding the
+                        // lock; nothing more can be claimed safely.
+                        Err(_) => None,
+                    };
+                    let Some((index, job)) = next else { return };
+                    if tx.send((index, self.run_job(job))).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+            while let Ok((index, report)) = rx.recv() {
+                slots[index] = Some(report);
+            }
+        });
+        let reports = slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                // Reachable only if a worker died outside run_job's
+                // isolation (a harness bug, not a job failure) — surface it
+                // as a failed report rather than dropping the slot.
+                slot.unwrap_or_else(|| JobReport {
+                    label: format!("job-{index}"),
+                    status: JobStatus::Failed {
+                        attempts: 0,
+                        last_error: "batch worker died before reporting".to_string(),
+                    },
+                    output: None,
+                    attempt_errors: Vec::new(),
+                    artifact_path: None,
+                })
+            })
+            .collect();
         BatchReport { jobs: reports }
     }
 
@@ -336,6 +400,7 @@ mod tests {
             backoff_base: Duration::from_millis(1),
             watchdog: Duration::from_secs(5),
             artifact_dir: None,
+            jobs: 1,
         }
     }
 
@@ -510,6 +575,79 @@ mod tests {
         );
         assert!(report.jobs[1].artifact_path.is_none());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_run_reports_in_submission_order() {
+        let mut config = fast_config();
+        config.jobs = 4;
+        let runner = BatchRunner::new(config);
+        let report = runner.run((0..12).map(OkJob).collect());
+        assert!(report.is_clean());
+        let outputs: Vec<u32> = report.jobs.iter().filter_map(|j| j.output).collect();
+        assert_eq!(outputs, (0..12).map(|i| i * 2).collect::<Vec<_>>());
+        let labels: Vec<String> = report.jobs.iter().map(|j| j.label.clone()).collect();
+        assert_eq!(
+            labels,
+            (0..12).map(|i| format!("ok-{i}")).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_disposition() {
+        // Same job mix through 1 and 4 workers: identical statuses and
+        // outputs, submission order preserved.
+        let build = || {
+            vec![
+                FlakyJob::erroring(0),
+                FlakyJob::erroring(10),
+                FlakyJob::panicking(1),
+                FlakyJob::erroring(1),
+            ]
+        };
+        let seq = BatchRunner::new(fast_config()).run(build());
+        let mut config = fast_config();
+        config.jobs = 4;
+        let par = BatchRunner::new(config).run(build());
+        assert_eq!(seq.jobs.len(), par.jobs.len());
+        for (s, p) in seq.jobs.iter().zip(par.jobs.iter()) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.status, p.status);
+            assert_eq!(s.output, p.output);
+        }
+    }
+
+    #[test]
+    fn parallel_run_contains_panicking_jobs() {
+        let mut config = fast_config();
+        config.jobs = 3;
+        let runner = BatchRunner::new(config);
+        let report = runner.run(vec![
+            FlakyJob::panicking(10),
+            FlakyJob::erroring(0),
+            FlakyJob::erroring(0),
+        ]);
+        assert_eq!(report.succeeded(), 2);
+        assert_eq!(report.failed(), 1);
+        assert!(!report.jobs[0].status.is_success());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let mut config = fast_config();
+        config.jobs = 64;
+        let report = BatchRunner::new(config).run(vec![OkJob(7)]);
+        assert!(report.is_clean());
+        assert_eq!(report.jobs[0].output, Some(14));
+    }
+
+    #[test]
+    fn parallel_run_with_zero_jobs_is_empty() {
+        let mut config = fast_config();
+        config.jobs = 8;
+        let report = BatchRunner::new(config).run(Vec::<OkJob>::new());
+        assert!(report.jobs.is_empty());
+        assert!(report.is_clean());
     }
 
     #[test]

@@ -50,6 +50,23 @@ impl ActivationSimReport {
             self.total_ops() as f64 / self.demand_acts as f64
         }
     }
+
+    /// Merges another shard's report into `self` (counter-wise sum).
+    ///
+    /// Commutative and associative, so per-channel shard reports can be
+    /// combined in any order — the deterministic-merge property the
+    /// `hydra-engine` sharded simulator relies on. Derived quantities
+    /// ([`total_ops`](Self::total_ops),
+    /// [`bandwidth_inflation`](Self::bandwidth_inflation)) are computed from
+    /// the summed counters, never merged themselves.
+    pub fn merge(&mut self, other: &ActivationSimReport) {
+        self.demand_acts += other.demand_acts;
+        self.mitigation_acts += other.mitigation_acts;
+        self.side_reads += other.side_reads;
+        self.side_writes += other.side_writes;
+        self.mitigations += other.mitigations;
+        self.window_resets += other.window_resets;
+    }
 }
 
 /// The activation-level simulator.

@@ -121,6 +121,17 @@ impl MemGeometry {
         }
     }
 
+    /// The [`tiny`](Self::tiny) geometry widened to `channels` memory
+    /// channels — the shape used by the sharded multi-channel engine tests,
+    /// where each channel gets its own tracker instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `channels` is zero or not a power of two.
+    pub fn tiny_with_channels(channels: u8) -> Result<Self, ConfigError> {
+        MemGeometry::new(channels, 1, 4, 1024, 1024)
+    }
+
     /// Number of channels.
     pub fn channels(&self) -> u8 {
         self.channels

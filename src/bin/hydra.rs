@@ -13,6 +13,7 @@
 //! hydra bench --compare OLD.json [...]  # regression diff against a baseline report
 //! hydra trace PATTERN [ACTS] [flags]    # JSONL telemetry event stream to stdout
 //! hydra forensics FILE [--t-h N]        # classify a recorded trace, emit incidents
+//! hydra sweep [--smoke] [--jobs N]      # design-space sweep → hydra-sweep-v1 JSONL
 //! ```
 
 use hydra_repro::analysis::faults::{run_case, FaultCaseReport, FaultCaseSpec};
@@ -20,6 +21,7 @@ use hydra_repro::baselines::storage::{Scheme, DDR4_BANKS_PER_RANK};
 use hydra_repro::core::degrade::DegradationPolicy;
 use hydra_repro::core::{Hydra, HydraConfig, HydraStorage};
 use hydra_repro::dram::DramTiming;
+use hydra_repro::engine::{run_sweep, SweepGrid};
 use hydra_repro::faults::FaultPlan;
 use hydra_repro::forensics::{
     compare_reports, incidents_to_jsonl, parse_bench_report, parse_trace_meta, replay_trace,
@@ -50,9 +52,10 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("forensics") => cmd_forensics(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace|forensics> [args]"
+                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace|forensics|sweep> [args]"
             );
             eprintln!("  storage                      print the paper's storage tables");
             eprintln!("  list                         list the 36 registered workloads");
@@ -80,6 +83,12 @@ fn main() -> ExitCode {
             eprintln!("                               stream telemetry events as JSONL");
             eprintln!(
                 "  forensics <file> [--t-h N]   classify a recorded trace, emit incident JSONL"
+            );
+            eprintln!("  sweep [--smoke] [--jobs N] [--out FILE] [--deterministic]");
+            eprintln!("        [--geometry G] [--workloads W1,..] [--gct N1,..] [--rcc N1,..]");
+            eprintln!("        [--t-rh N1,..] [--acts N] [--seed S]");
+            eprintln!(
+                "                               parallel design-space sweep → JSONL + Pareto"
             );
             return ExitCode::from(2);
         }
@@ -377,6 +386,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         backoff_base: Duration::from_millis(50),
         watchdog: Duration::from_millis(watchdog_ms),
         artifact_dir: Some(out.clone()),
+        jobs: 1,
     });
     let expected_failures = usize::from(force_failure);
     let total = jobs.len();
@@ -576,11 +586,23 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut against: Option<PathBuf> = None;
     let mut tolerance_pct = CompareConfig::default().tolerance_pct;
     let mut gate_throughput = false;
+    let mut bench_jobs: usize = 1;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--jobs" => {
+                i += 1;
+                bench_jobs = args
+                    .get(i)
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --jobs")?;
+                if bench_jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--out" => {
                 i += 1;
                 out = PathBuf::from(args.get(i).ok_or("--out needs a value")?);
@@ -661,11 +683,15 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         out.display()
     );
 
+    // Cell results are pure functions of the cell and reports come back in
+    // submission order, so --jobs only changes wall-clock (and the
+    // wall_secs/acts_per_sec fields derived from it), never the matrix.
     let runner = BatchRunner::new(BatchConfig {
         retries: 1,
         backoff_base: Duration::from_millis(50),
         watchdog: Duration::from_secs(300),
         artifact_dir: None,
+        jobs: bench_jobs,
     });
     let report = runner.run(jobs);
 
@@ -965,4 +991,151 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         println!("  verdict           : VIOLATION REPRODUCED");
         Err("replayed run violates the tracking guarantee (as recorded)".into())
     }
+}
+
+/// Parses a comma-separated list with a custom element parser.
+fn parse_list<T>(
+    flag: &str,
+    raw: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    let items: Option<Vec<T>> = raw.split(',').map(|s| parse(s.trim())).collect();
+    match items {
+        Some(v) if !v.is_empty() => Ok(v),
+        _ => Err(format!("bad {flag} list: {raw}")),
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let mut grid = SweepGrid::smoke();
+    let mut smoke = false;
+    let mut jobs: usize = 1;
+    let mut out: Option<PathBuf> = None;
+    let mut deterministic = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--smoke" => smoke = true,
+            "--jobs" => {
+                jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--deterministic" => deterministic = true,
+            "--geometry" => grid.geometry = value("--geometry")?,
+            "--workloads" => {
+                grid.workloads = parse_list("--workloads", &value("--workloads")?, |s| {
+                    Some(s.to_string())
+                })?;
+            }
+            "--gct" => {
+                grid.gct_entries = parse_list("--gct", &value("--gct")?, |s| s.parse().ok())?;
+            }
+            "--rcc" => {
+                grid.rcc_entries = parse_list("--rcc", &value("--rcc")?, |s| s.parse().ok())?;
+            }
+            "--t-rh" => {
+                grid.t_rh = parse_list("--t-rh", &value("--t-rh")?, |s| s.parse().ok())?;
+            }
+            "--tg-pct" => {
+                grid.tg_pct = parse_list("--tg-pct", &value("--tg-pct")?, |s| s.parse().ok())?;
+            }
+            "--acts" => grid.acts = value("--acts")?.parse().map_err(|_| "bad --acts")?,
+            "--seed" => grid.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            other => return Err(format!("unknown sweep flag {other}")),
+        }
+        i += 1;
+    }
+    // --smoke pins the CI grid; without it the same defaults apply but any
+    // axis may be overridden. (The flag exists so scripts can say what they
+    // mean and fail loudly if they also try to override an axis.)
+    if smoke
+        && args.iter().any(|a| {
+            matches!(
+                a.as_str(),
+                "--geometry"
+                    | "--workloads"
+                    | "--gct"
+                    | "--rcc"
+                    | "--t-rh"
+                    | "--tg-pct"
+                    | "--acts"
+                    | "--seed"
+            )
+        })
+    {
+        return Err("--smoke pins the grid; drop it to customize axes".into());
+    }
+
+    let cells = grid.cells().map_err(|e| e.to_string())?;
+    eprintln!(
+        "sweep: {} cell(s) on geometry {}, {} act(s) each, {jobs} job(s)",
+        cells.len(),
+        grid.geometry,
+        grid.acts
+    );
+    let outcome = run_sweep(
+        &grid,
+        BatchConfig {
+            retries: 1,
+            backoff_base: Duration::from_millis(50),
+            watchdog: Duration::from_secs(300),
+            artifact_dir: None,
+            jobs,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let lines = if deterministic {
+        outcome.deterministic_lines()
+    } else {
+        outcome.jsonl_lines()
+    };
+    match &out {
+        Some(path) => {
+            let mut text = lines.join("\n");
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("sweep: wrote {} line(s) to {}", lines.len(), path.display());
+        }
+        None => {
+            for line in &lines {
+                println!("{line}");
+            }
+        }
+    }
+
+    for t in outcome.trend_checks() {
+        eprintln!(
+            "  trend {}/t_rh{}: gct {} → {}: mitigations {} → {}, slowdown {:.3}% → {:.3}% [{}]",
+            t.workload,
+            t.t_rh,
+            t.gct_low,
+            t.gct_high,
+            t.mitigations_low,
+            t.mitigations_high,
+            t.slowdown_low_pct,
+            t.slowdown_high_pct,
+            if t.ok { "ok" } else { "REGRESSED" },
+        );
+    }
+    if !outcome.failures.is_empty() {
+        return Err(format!("{} sweep cell(s) failed", outcome.failures.len()));
+    }
+    if !outcome.trend_ok() {
+        return Err(
+            "GCT-size trend regressed: growing the GCT increased mitigations or slowdown".into(),
+        );
+    }
+    Ok(())
 }

@@ -8,6 +8,7 @@
 //! * [`core`] — the Hydra hybrid tracker (the paper's contribution)
 //! * [`baselines`] — Graphene, CRA, PARA, OCPR, D-CBF, storage models
 //! * [`dram`] — DDR4 device timing, refresh and power models
+//! * [`engine`] — worker pool, sharded multi-channel simulation, design-space sweeps
 //! * [`faults`] — deterministic fault injection around the tracker
 //! * [`forensics`] — attack attribution, window classification, incident reports
 //! * [`sim`] — memory controller, LLC, core model, system simulator, batch harness
@@ -20,6 +21,7 @@ pub use hydra_analysis as analysis;
 pub use hydra_baselines as baselines;
 pub use hydra_core as core;
 pub use hydra_dram as dram;
+pub use hydra_engine as engine;
 pub use hydra_faults as faults;
 pub use hydra_forensics as forensics;
 pub use hydra_sim as sim;
