@@ -1,0 +1,207 @@
+//! `hydra-verify` — the static verification gate: token-rule lint, crate
+//! DAG check, lint-engine self-test, and the exhaustive pool-protocol
+//! schedule explorer, in one binary for CI.
+//!
+//! ```text
+//! cargo run -p hydra-analysis --bin hydra-verify -- <command>
+//!
+//! Commands:
+//!   lint [--json] [root]   run the repository lint gate (incl. crate DAG)
+//!   rules                  print the rule table (id, severity, summary)
+//!   self-test [root]       prove every rule fires on a known-bad snippet
+//!                          and matches the DESIGN.md catalog
+//!   explore                exhaustively model-check the worker-pool
+//!                          protocol, then prove the seeded mutations are
+//!                          caught
+//!   all [root]             lint + self-test + explore (the CI gate)
+//! ```
+//!
+//! Every command exits nonzero on failure, so `hydra-verify all` is a
+//! single pass/fail gate.
+
+use hydra_analysis::explore::{default_step_bound, explore, random_walks, ModelConfig};
+use hydra_analysis::lint::{findings_to_json, lint_workspace, self_test, RULES};
+use hydra_engine::protocol::ProtocolVariant;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn resolve_root(arg: Option<String>) -> Result<PathBuf, String> {
+    match arg {
+        Some(path) => Ok(PathBuf::from(path)),
+        None => find_workspace_root()
+            .ok_or_else(|| "no workspace root found; pass one explicitly".to_string()),
+    }
+}
+
+fn run_lint(root: &Path, json: bool) -> Result<(), String> {
+    let findings =
+        lint_workspace(root).map_err(|e| format!("failed to scan {}: {e}", root.display()))?;
+    if json {
+        println!("{}", findings_to_json(&findings));
+    } else if findings.is_empty() {
+        println!("lint: clean ({})", root.display());
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("lint: {} finding(s)", findings.len()))
+    }
+}
+
+fn run_rules() {
+    for info in &RULES {
+        println!(
+            "{:22} {:8} {}",
+            info.id,
+            info.severity.as_str(),
+            info.summary
+        );
+    }
+}
+
+fn run_self_test(root: &Path) -> Result<(), String> {
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    let lines = self_test(design.as_deref())?;
+    for line in &lines {
+        println!("self-test: {line}");
+    }
+    if design.is_none() {
+        println!("self-test: note: DESIGN.md not found, catalog check skipped");
+    }
+    Ok(())
+}
+
+/// The acceptance envelope: every (workers, items) shape the explorer must
+/// enumerate exhaustively, including worker-panic schedules.
+const SHAPES: [(usize, usize); 4] = [(1, 1), (1, 3), (2, 2), (2, 3)];
+
+fn run_explore() -> Result<(), String> {
+    // 1. The faithful protocol survives every interleaving.
+    for &(workers, items) in &SHAPES {
+        let config = ModelConfig::faithful(workers, items);
+        let report = explore(&config);
+        if let Some(v) = &report.violation {
+            return Err(format!("faithful {workers}x{items}: violation: {v}"));
+        }
+        if report.truncated {
+            return Err(format!(
+                "faithful {workers}x{items}: hit the step bound ({}) before closing the state space",
+                default_step_bound(workers, items)
+            ));
+        }
+        println!(
+            "explore: faithful {workers}x{items}: {} states, {} terminals, depth {}: ok",
+            report.states, report.terminals, report.deepest
+        );
+    }
+    // Panic schedules: every subset of dying workers still settles.
+    for &(workers, items) in &[(2usize, 3usize)] {
+        for panics in [&[0usize][..], &[0, 1][..]] {
+            let config = ModelConfig::faithful(workers, items).with_panics(panics);
+            let report = explore(&config);
+            if let Some(v) = &report.violation {
+                return Err(format!(
+                    "faithful {workers}x{items} panics={panics:?}: violation: {v}"
+                ));
+            }
+            println!(
+                "explore: faithful {workers}x{items} panics={panics:?}: {} states: ok",
+                report.states
+            );
+        }
+    }
+    // 2. Every seeded protocol mutation is caught, and caught by the
+    //    exhaustive pass even when random schedules miss it.
+    // SkipClaimedHandshake's symptom is lost panic attribution, so its
+    // schedule must include a dying worker; the other two corrupt healthy
+    // runs directly.
+    let mutations = [
+        (
+            ProtocolVariant::SkipClaimedHandshake,
+            ModelConfig::faithful(2, 2)
+                .with_panics(&[0])
+                .with_variant(ProtocolVariant::SkipClaimedHandshake),
+        ),
+        (
+            ProtocolVariant::CompletionOrderDelivery,
+            ModelConfig::faithful(2, 2).with_variant(ProtocolVariant::CompletionOrderDelivery),
+        ),
+        (
+            ProtocolVariant::UnboundedSubmission,
+            ModelConfig::faithful(2, 3).with_variant(ProtocolVariant::UnboundedSubmission),
+        ),
+    ];
+    for (variant, config) in mutations {
+        let report = explore(&config);
+        let Some(v) = &report.violation else {
+            return Err(format!("mutation {variant:?} was NOT detected"));
+        };
+        let walks = random_walks(&config, 20, 0xda7a);
+        println!(
+            "explore: mutation {variant:?}: caught ({}); random walks caught {}/{}",
+            v.property, walks.violating, walks.walks
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "all".to_string());
+    let mut json = false;
+    let mut root_arg = None;
+    for arg in args {
+        if arg == "--json" {
+            json = true;
+        } else {
+            root_arg = Some(arg);
+        }
+    }
+    let result = match command.as_str() {
+        "lint" => resolve_root(root_arg).and_then(|root| run_lint(&root, json)),
+        "rules" => {
+            run_rules();
+            Ok(())
+        }
+        "self-test" => resolve_root(root_arg).and_then(|root| run_self_test(&root)),
+        "explore" => run_explore(),
+        "all" => resolve_root(root_arg).and_then(|root| {
+            run_lint(&root, false)?;
+            run_self_test(&root)?;
+            run_explore()?;
+            println!("hydra-verify: all gates passed");
+            Ok(())
+        }),
+        other => Err(format!(
+            "unknown command {other:?} (expected lint, rules, self-test, explore, or all)"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hydra-verify: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,15 +1,16 @@
 //! `repo-lint` — the repository lint gate, for CI and pre-commit use.
 //!
 //! ```text
-//! cargo run -p hydra-analysis --bin repo-lint [-- <workspace-root>]
+//! cargo run -p hydra-analysis --bin repo-lint [-- [--json] [<workspace-root>]]
 //! ```
 //!
 //! Prints one `file:line: [rule] message` diagnostic per finding and exits
-//! nonzero if there are any. With no argument the workspace root is found
-//! by walking up from the current directory to the first `Cargo.toml`
-//! declaring `[workspace]`.
+//! nonzero if there are any. `--json` emits the findings as a JSON array
+//! (rule id, severity, file, line, message, fix hint) for tooling. With no
+//! root argument the workspace root is found by walking up from the current
+//! directory to the first `Cargo.toml` declaring `[workspace]`.
 
-use hydra_analysis::lint::lint_workspace;
+use hydra_analysis::lint::{findings_to_json, lint_workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,8 +32,20 @@ fn find_workspace_root() -> Option<PathBuf> {
 }
 
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let mut json = false;
+    let mut root_arg = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else if arg.starts_with("--") {
+            eprintln!("repo-lint: unknown flag {arg}");
+            return ExitCode::FAILURE;
+        } else {
+            root_arg = Some(PathBuf::from(arg));
+        }
+    }
+    let root = match root_arg {
+        Some(root) => root,
         None => match find_workspace_root() {
             Some(root) => root,
             None => {
@@ -42,16 +55,22 @@ fn main() -> ExitCode {
         },
     };
     match lint_workspace(&root) {
-        Ok(diagnostics) if diagnostics.is_empty() => {
-            println!("repo-lint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
         Ok(diagnostics) => {
-            for d in &diagnostics {
-                println!("{d}");
+            if json {
+                println!("{}", findings_to_json(&diagnostics));
+            } else if diagnostics.is_empty() {
+                println!("repo-lint: clean ({})", root.display());
+            } else {
+                for d in &diagnostics {
+                    println!("{d}");
+                }
+                println!("repo-lint: {} finding(s)", diagnostics.len());
             }
-            println!("repo-lint: {} finding(s)", diagnostics.len());
-            ExitCode::FAILURE
+            if diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("repo-lint: failed to scan {}: {e}", root.display());

@@ -1,0 +1,629 @@
+//! A hand-rolled, std-only Rust lexer for the repository lint engine.
+//!
+//! The old lint scanner matched raw text line by line, blanking string
+//! contents with ad-hoc state machines — good enough until a rule needed to
+//! know the difference between `count + 1` in code and the same characters
+//! inside a doc comment. This module tokenizes real Rust source instead:
+//! every lint rule then matches on *tokens*, so comments, string literals,
+//! lifetimes and char literals can never produce false positives again.
+//!
+//! Design constraints:
+//!
+//! * **Total**: any byte sequence lexes. Malformed input (unterminated
+//!   strings, stray bytes) degrades to [`TokenKind::Unknown`] or an
+//!   unterminated literal token spanning to end of input — the lexer never
+//!   panics and never drops bytes.
+//! * **Lossless**: concatenating every token's text reproduces the input
+//!   exactly (round-tripped by a proptest in
+//!   `tests/lexer_roundtrip.rs`). Spans are byte ranges into the source.
+//! * **Syntax-aware where it pays**: nested block comments, raw strings
+//!   with arbitrary `#` fences, byte/raw-byte strings, char-literal vs
+//!   lifetime disambiguation, numeric literals with underscores and
+//!   suffixes. No parser: rules that need structure (brace depth, item
+//!   boundaries) track it over the token stream.
+
+/// Classification of one source token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lint rules do not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (tick + identifier, no closing quote).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1_000u64`, `2.5e3`).
+    Number,
+    /// String literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`.
+    Str,
+    /// Char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Non-doc comment: `// ...` or `/* ... */` (nesting handled).
+    Comment,
+    /// Doc comment: `///`, `//!`, `/** */`, `/*! */`.
+    DocComment,
+    /// Whitespace run (spaces, tabs, newlines).
+    Whitespace,
+    /// A single punctuation byte (`+`, `=`, `{`, ...). Multi-byte operators
+    /// appear as adjacent `Punct` tokens; helpers on [`TokenStream`] join
+    /// them when a rule needs `+=` or `::`.
+    Punct,
+    /// Anything unrecognized (kept verbatim so the lex stays lossless).
+    Unknown,
+}
+
+/// One token: a kind plus its byte span and 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, into the lexed source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// True for tokens the lint rules should look at (not whitespace or
+    /// comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::Comment | TokenKind::DocComment
+        )
+    }
+}
+
+/// Lexes `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must consume at least one byte");
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte (or a full UTF-8 scalar for non-ASCII), counting
+    /// newlines.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        // Skip UTF-8 continuation bytes so we never split a scalar.
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+            self.pos += 1;
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.bytes[self.pos];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'r' if self.raw_str_fence(1).is_some() => {
+                self.bump();
+                let fence = self.raw_str_fence(0).unwrap_or(0);
+                self.raw_string(fence);
+                TokenKind::Str
+            }
+            b'b' if self.peek(1) == Some(b'"') => {
+                self.bump();
+                self.cooked_string();
+                TokenKind::Str
+            }
+            b'b' if self.peek(1) == Some(b'\'') => {
+                self.bump();
+                self.char_literal();
+                TokenKind::Char
+            }
+            b'b' if self.peek(1) == Some(b'r') && self.raw_str_fence(2).is_some() => {
+                self.bump();
+                self.bump();
+                let fence = self.raw_str_fence(0).unwrap_or(0);
+                self.raw_string(fence);
+                TokenKind::Str
+            }
+            b'"' => {
+                self.cooked_string();
+                TokenKind::Str
+            }
+            b'\'' => self.tick(),
+            b'0'..=b'9' => self.number(),
+            c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+                {
+                    self.bump();
+                }
+                TokenKind::Ident
+            }
+            c if c.is_ascii_punctuation() => {
+                self.bump();
+                TokenKind::Punct
+            }
+            _ => {
+                self.bump();
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` and `//!` are doc comments; `////...` is a plain comment by
+        // rustc's rules.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/') | Some(b'!'), _) => true,
+            _ => false,
+        };
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::Comment
+        }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**` and `/*!` are doc comments; `/**/` and `/***` are not.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'*'), Some(b'/') | Some(b'*')) => false,
+            (Some(b'*') | Some(b'!'), _) => true,
+            _ => false,
+        };
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.bytes.len() {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::Comment
+        }
+    }
+
+    /// If a raw-string fence (`#*"`) starts at `pos + ahead`, returns the
+    /// number of `#`s; otherwise `None`.
+    fn raw_str_fence(&self, ahead: usize) -> Option<usize> {
+        let mut hashes = 0;
+        loop {
+            match self.peek(ahead + hashes) {
+                Some(b'#') => hashes += 1,
+                Some(b'"') => return Some(hashes),
+                _ => return None,
+            }
+        }
+    }
+
+    /// Consumes `#*" ... "#*` with `fence` hashes. Caller has consumed any
+    /// `r`/`br` prefix; `pos` is at the first `#` or the quote.
+    fn raw_string(&mut self, fence: usize) {
+        for _ in 0..fence {
+            self.bump(); // '#'
+        }
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'"') {
+                let closes = (0..fence).all(|i| self.peek(1 + i) == Some(b'#'));
+                if closes {
+                    self.bump();
+                    for _ in 0..fence {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+        // Unterminated: token spans to EOF (total lexing).
+    }
+
+    /// Consumes a `"..."` with escapes; `pos` is at the opening quote.
+    fn cooked_string(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                Some(b'\\') => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                Some(b'"') => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a `'...'` char literal; `pos` is at the opening tick.
+    fn char_literal(&mut self) {
+        self.bump(); // opening tick
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump();
+                // Escape bodies (`\n`, `\x41`, `\u{1F600}`) never contain a
+                // bare tick, so consuming to the closing tick is safe.
+                while self.peek(0).is_some_and(|b| b != b'\'' && b != b'\n') {
+                    self.bump();
+                }
+            }
+            Some(b'\'') => {} // empty literal `''` (malformed but total)
+            Some(_) => self.bump(),
+            None => return,
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+    }
+
+    /// A tick starts either a char literal (`'x'`, `'\n'`) or a lifetime
+    /// (`'a`, `'static`). Rust's rule: it is a char literal iff the
+    /// character after the (possibly escaped) payload is another tick.
+    fn tick(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.char_literal();
+                TokenKind::Char
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                if self.peek(2) == Some(b'\'') {
+                    // 'x' — single-char literal.
+                    self.char_literal();
+                    TokenKind::Char
+                } else {
+                    // 'ident — lifetime: tick plus identifier.
+                    self.bump();
+                    while self
+                        .peek(0)
+                        .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+                    {
+                        self.bump();
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // Non-identifier payload ('{', '0' handled above, '+').
+                self.char_literal();
+                TokenKind::Char
+            }
+            None => {
+                self.bump();
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part (decimal, or 0x/0o/0b with their digit sets), then an
+        // optional fraction/exponent, then an optional ident-like suffix.
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            return TokenKind::Number;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.bump();
+        }
+        // Fraction: only if the dot is followed by a digit (so `0..n` and
+        // `1.max(2)` keep their dots as puncts).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (self.peek(1).is_some_and(|b| b.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|b| b.is_ascii_digit())))
+        {
+            self.bump();
+            if matches!(self.peek(0), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while self.peek(0).is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        // Suffix (u8, f64, usize, ...).
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            self.bump();
+        }
+        TokenKind::Number
+    }
+}
+
+/// A token stream with the navigation helpers the lint rules need: code-only
+/// iteration, multi-byte operator joining, and line lookup.
+#[derive(Debug)]
+pub struct TokenStream<'s> {
+    /// The source the tokens index into.
+    pub src: &'s str,
+    /// All tokens, including whitespace and comments (lossless).
+    pub tokens: Vec<Token>,
+    /// Indices of code tokens (everything except whitespace/comments).
+    code: Vec<usize>,
+}
+
+impl<'s> TokenStream<'s> {
+    /// Lexes `src`.
+    pub fn new(src: &'s str) -> Self {
+        let tokens = lex(src);
+        let code = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_code())
+            .map(|(i, _)| i)
+            .collect();
+        TokenStream { src, tokens, code }
+    }
+
+    /// Number of code tokens.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// The `i`-th code token (whitespace/comments skipped).
+    pub fn code(&self, i: usize) -> Option<&Token> {
+        self.code.get(i).map(|&idx| &self.tokens[idx])
+    }
+
+    /// The `i`-th code token's text.
+    pub fn code_text(&self, i: usize) -> Option<&'s str> {
+        self.code(i).map(|t| t.text(self.src))
+    }
+
+    /// True if code tokens starting at `i` spell `op` as adjacent `Punct`
+    /// bytes with no gap (so `+ =` with a space is *not* `+=`, matching
+    /// rustc's joint-token rule).
+    pub fn punct_seq(&self, i: usize, op: &str) -> bool {
+        let mut expected_start = None;
+        for (k, ch) in op.bytes().enumerate() {
+            let Some(tok) = self.code(i + k) else {
+                return false;
+            };
+            if tok.kind != TokenKind::Punct || tok.text(self.src).as_bytes() != [ch] {
+                return false;
+            }
+            if let Some(exp) = expected_start {
+                if tok.start != exp {
+                    return false;
+                }
+            }
+            expected_start = Some(tok.end);
+        }
+        true
+    }
+
+    /// True if the `i`-th code token is the identifier `name`.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.code(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text(self.src) == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn lexes_idents_numbers_puncts() {
+        let toks = kinds("let x = 42;");
+        assert_eq!(toks[0], (TokenKind::Ident, "let"));
+        assert_eq!(toks[2], (TokenKind::Ident, "x"));
+        assert_eq!(toks[4], (TokenKind::Punct, "="));
+        assert_eq!(toks[6], (TokenKind::Number, "42"));
+        assert_eq!(toks[7], (TokenKind::Punct, ";"));
+    }
+
+    #[test]
+    fn distinguishes_doc_from_plain_comments() {
+        assert_eq!(kinds("// x")[0].0, TokenKind::Comment);
+        assert_eq!(kinds("/// x")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("//! x")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("//// x")[0].0, TokenKind::Comment);
+        assert_eq!(kinds("/* x */")[0].0, TokenKind::Comment);
+        assert_eq!(kinds("/** x */")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("/*! x */")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("/**/")[0].0, TokenKind::Comment);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* a /* b */ c */ x";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::Comment, "/* a /* b */ c */"));
+        assert_eq!(toks[2], (TokenKind::Ident, "x"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn strings_swallow_operators_and_comment_markers() {
+        let src = r#"let s = "a // not a comment + 1";"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("not a comment")));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Comment));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r##"let s = r#"quote " inside"#;"##;
+        let toks = kinds(src);
+        assert_eq!(toks[6].0, TokenKind::Str);
+        assert_eq!(toks[6].1, r##"r#"quote " inside"#"##);
+        roundtrip(src);
+        roundtrip("r\"plain raw\"");
+        roundtrip("br#\"raw bytes\"#");
+        roundtrip("b\"bytes \\\" esc\"");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'x'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn brace_char_literal_is_not_a_brace() {
+        let toks = kinds("let c = '{';");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "'{'"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && *t == "{"));
+    }
+
+    #[test]
+    fn numeric_literals_with_suffixes_and_ranges() {
+        let toks = kinds("0..n");
+        assert_eq!(toks[0], (TokenKind::Number, "0"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        let toks = kinds("1_000u64 + 0xFFu8 + 2.5e-3f64");
+        assert_eq!(toks[0], (TokenKind::Number, "1_000u64"));
+        assert_eq!(toks[4], (TokenKind::Number, "0xFFu8"));
+        assert_eq!(toks[8], (TokenKind::Number, "2.5e-3f64"));
+    }
+
+    #[test]
+    fn unterminated_literals_lex_to_eof() {
+        roundtrip("let s = \"never closed");
+        roundtrip("let s = r#\"never closed");
+        roundtrip("/* never closed");
+        assert_eq!(kinds("\"abc")[0].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn non_ascii_is_preserved() {
+        roundtrip("// héllo wörld\nlet x = \"héllo\";");
+        roundtrip("let héllo = 1;");
+    }
+
+    #[test]
+    fn punct_seq_requires_adjacency() {
+        let ts = TokenStream::new("a += 1; b + = 2;");
+        // a, +=, 1, ;  b, +, =, 2, ;
+        assert!(ts.punct_seq(1, "+="));
+        assert!(!ts.punct_seq(5, "+="));
+    }
+
+    #[test]
+    fn every_byte_consumed_exactly_once() {
+        for src in [
+            "",
+            "x",
+            "\u{1F600}",
+            "'",
+            "''",
+            "'''",
+            "\\",
+            "#![forbid(unsafe_code)]\nfn main() {}\n",
+        ] {
+            roundtrip(src);
+            let toks = lex(src);
+            let mut pos = 0;
+            for t in &toks {
+                assert_eq!(t.start, pos, "gap in {src:?}");
+                pos = t.end;
+            }
+            assert_eq!(pos, src.len(), "truncated {src:?}");
+        }
+    }
+}

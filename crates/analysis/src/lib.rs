@@ -20,13 +20,26 @@
 //!    whenever the wrapped tracker lets a row cross the Row-Hammer
 //!    threshold unmitigated or mitigates a row that was never activated.
 //!
-//! 3. [`lint`] — a **repository lint gate** enforcing workspace-wide
-//!    invariants (`#![forbid(unsafe_code)]` everywhere, no
+//! 3. [`lint`] — a **syntax-aware repository lint gate**: a hand-rolled
+//!    Rust lexer ([`lex`]) feeds a token-based rule engine enforcing
+//!    workspace-wide invariants (`#![forbid(unsafe_code)]` everywhere, no
 //!    `unwrap()`/`expect()` in non-test library code, builder docs
 //!    consistent with builder behavior, `catch_unwind` confined to the
-//!    batch-harness layer), exposed as the `repo-lint` binary for CI.
+//!    batch-harness layer, saturating-only counter arithmetic in the
+//!    tracking hot paths, schema-literal single-source, and the
+//!    crate-layering DAG declared in [`dag`]). Exposed as the `repo-lint`
+//!    and `hydra-verify` binaries for CI.
 //!
-//! 4. [`faults`] — a **fault-resilience evaluator**: deterministic
+//! 4. [`explore`] — an **exhaustive schedule explorer** (a miniature
+//!    model checker): a faithful state-machine model of
+//!    `hydra_engine::pool`'s worker/submission protocol, DFS-enumerated
+//!    over *all* interleavings up to a step bound, asserting exactly-once
+//!    result delivery, submission-order re-slotting, panic attribution and
+//!    dead-pool liveness — and proving its own teeth by detecting the
+//!    cfg-gated protocol mutations `hydra-engine` seeds behind its
+//!    `verify-mutations` feature.
+//!
+//! 5. [`faults`] — a **fault-resilience evaluator**: deterministic
 //!    [`faults::FaultCaseSpec`] runs driving a fault-injected Hydra
 //!    (`hydra-faults`) under the [`oracle::ShadowOracle`] referee, the
 //!    degradation table behind `hydra-audit --faults`, and the replay
@@ -51,8 +64,11 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod dag;
+pub mod explore;
 pub mod faults;
 pub mod fixtures;
+pub mod lex;
 pub mod lint;
 pub mod oracle;
 

@@ -1,0 +1,93 @@
+//! Property tests for the hand-rolled lexer: on arbitrary fragment soups —
+//! including unterminated strings, nested comments and stray bytes — the
+//! token stream must tile the source exactly (lossless, contiguous,
+//! char-boundary-aligned spans with monotone line numbers).
+
+use hydra_analysis::lex::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Fragment vocabulary skewed toward lexer edge cases.
+const FRAGMENTS: &[&str] = &[
+    "ident",
+    "x7_y",
+    " ",
+    "\n",
+    "\t",
+    "\r\n",
+    "0x1f",
+    "1_000u64",
+    "3.5e-2",
+    "'a'",
+    "'\\n'",
+    "'static",
+    "\"str\"",
+    "\"esc \\\" ape\"",
+    "\"open",
+    "r#\"raw \" inside\"#",
+    "b\"bytes\"",
+    "// line comment\n",
+    "// unterminated comment",
+    "/* block */",
+    "/* nested /* deeper */ still */",
+    "/* unterminated",
+    "/// doc comment\n",
+    "//! inner doc\n",
+    "+=",
+    "::",
+    "->",
+    "=>",
+    "..=",
+    "#![",
+    "{",
+    "}",
+    "(",
+    ")",
+    "€",
+    "日本語",
+    "\u{0}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn lexing_tiles_the_source_exactly(
+        parts in prop::collection::vec(prop::sample::select(FRAGMENTS.to_vec()), 0..24),
+    ) {
+        let src: String = parts.concat();
+        let tokens = lex(&src);
+        let mut pos = 0usize;
+        let mut line = 1usize;
+        let mut rebuilt = String::new();
+        for t in &tokens {
+            prop_assert_eq!(t.start, pos, "gap or overlap before byte {}", t.start);
+            prop_assert!(t.end > t.start, "empty token at {}", t.start);
+            prop_assert!(
+                src.get(t.start..t.end).is_some(),
+                "span {}..{} is not char-aligned",
+                t.start,
+                t.end
+            );
+            prop_assert!(t.line >= line, "line numbers went backwards");
+            line = t.line;
+            rebuilt.push_str(t.text(&src));
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len(), "tokens do not cover the tail");
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn code_tokens_are_never_whitespace_or_comments(
+        parts in prop::collection::vec(prop::sample::select(FRAGMENTS.to_vec()), 0..24),
+    ) {
+        let src: String = parts.concat();
+        for t in lex(&src) {
+            let code = t.is_code();
+            let classified_non_code = matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::Comment | TokenKind::DocComment
+            );
+            prop_assert_ne!(code, classified_non_code);
+        }
+    }
+}

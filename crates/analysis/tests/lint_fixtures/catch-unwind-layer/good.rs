@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn add() -> i32 {
+    1 + 1
+}

@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+pub fn bump(count: &mut u32) {
+    *count += 1;
+}
+pub fn bump_indexed(counts: &mut [u32]) {
+    counts[0] += 1;
+}
+pub fn wrapping(counter: u32) -> u32 {
+    counter.wrapping_add(1)
+}
+pub fn narrow(count: u32) -> u8 {
+    count as u8
+}

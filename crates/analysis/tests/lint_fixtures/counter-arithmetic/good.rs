@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+pub fn bump(count: &mut u32) {
+    *count = count.saturating_add(1);
+}
+pub fn advance(pos: &mut usize) {
+    // Parser cursors are not row counters.
+    *pos += 1;
+}
+pub fn narrow(count: u32) -> u8 {
+    u8::try_from(count).unwrap_or(u8::MAX)
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+// hydra-types sits at the bottom of the DAG: it may depend on nothing.
+pub fn f() -> &'static str {
+    hydra_core::NAME
+}

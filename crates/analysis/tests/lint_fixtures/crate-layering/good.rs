@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn f() -> u32 {
+    7
+}

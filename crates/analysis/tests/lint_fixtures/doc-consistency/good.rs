@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+pub struct Builder {
+    n: u32,
+}
+impl Builder {
+    /// # Errors
+    /// Rejects zero.
+    pub fn build(&self) -> Result<u32, String> {
+        if self.n == 0 {
+            return Err("zero".to_string());
+        }
+        Ok(self.n)
+    }
+}

@@ -1,0 +1,4 @@
+// Missing the `#![forbid(unsafe_code)]` inner attribute entirely.
+pub fn f() -> u32 {
+    7
+}

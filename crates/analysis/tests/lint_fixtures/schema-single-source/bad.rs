@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn schema() -> &'static str {
+    "hydra-trace-v1"
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+// The schema name belongs to its defining file; everyone else imports it.
+pub fn schema() -> &'static str {
+    "not-a-schema"
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn current_thread_name() -> Option<String> {
+    std::thread::current().name().map(str::to_string)
+}

@@ -103,7 +103,7 @@ impl CounterTree {
         while let Some((l, r)) = self.nodes[idx].children {
             idx = if row < self.nodes[l].end { l } else { r };
         }
-        self.nodes[idx].count += 1;
+        self.nodes[idx].count = self.nodes[idx].count.saturating_add(1);
 
         let node = &self.nodes[idx];
         let is_single = node.end - node.start == 1;
@@ -263,5 +263,20 @@ mod tests {
         assert!(CounterTree::new(0, 8, 10, 5).is_err());
         assert!(CounterTree::new(8, 0, 10, 5).is_err());
         assert!(CounterTree::new(8, 8, 10, 10).is_err());
+    }
+
+    #[test]
+    fn single_row_tree_counts_exactly_at_threshold() {
+        // One row, one leaf, no splits: the leaf counter must hit the
+        // threshold on schedule every cycle despite the saturating add.
+        let mut cat = CounterTree::new(1, 4, 100, 10).unwrap();
+        let mut when = Vec::new();
+        for i in 1..=250 {
+            if cat.on_activation(0).is_some() {
+                when.push(i);
+            }
+        }
+        assert_eq!(when, vec![100, 200]);
+        assert_eq!(cat.mitigations(), 2);
     }
 }

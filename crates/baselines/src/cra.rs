@@ -258,7 +258,7 @@ impl ActivationTracker for Cra {
         }
 
         let count = &mut self.counts[index as usize];
-        *count += 1;
+        *count = count.saturating_add(1);
         if u32::from(*count) >= self.config.threshold {
             *count = 0;
             self.mitigations += 1;
@@ -395,5 +395,28 @@ mod tests {
         assert!(Cra::new(cfg.clone()).is_err()); // 500 > 255
         cfg.threshold = 100;
         assert!(Cra::new(cfg).is_ok());
+    }
+
+    #[test]
+    fn one_byte_counters_reach_the_255_ceiling_exactly() {
+        // threshold = 255 is the largest the one-byte counters admit: the
+        // count must walk all the way to the ceiling and reset there, twice.
+        // Saturation may never freeze it short of the threshold.
+        let mut c = Cra::new(CraConfig {
+            geometry: MemGeometry::tiny(),
+            channel: 0,
+            threshold: 255,
+            cache_bytes: 4096,
+            cache_ways: 2,
+        })
+        .unwrap();
+        let row = RowAddr::new(0, 0, 0, 3);
+        let mut when = Vec::new();
+        for i in 1..=600 {
+            if !act(&mut c, row).mitigations.is_empty() {
+                when.push(i);
+            }
+        }
+        assert_eq!(when, vec![255, 510]);
     }
 }

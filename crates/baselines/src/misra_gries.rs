@@ -72,11 +72,11 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
     /// `spillover + 1`). Otherwise bump the spillover counter.
     pub fn increment(&mut self, item: &K) -> u64 {
         if let Some(c) = self.entries.get_mut(item) {
-            *c += 1;
+            *c = c.saturating_add(1);
             return *c;
         }
         if self.entries.len() < self.capacity {
-            let c = self.spillover + 1;
+            let c = self.spillover.saturating_add(1);
             self.entries.insert(item.clone(), c);
             return c;
         }
@@ -89,11 +89,11 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
             .map(|(k, _)| k.clone());
         if let Some(key) = floor_key {
             self.entries.remove(&key);
-            let c = self.spillover + 1;
+            let c = self.spillover.saturating_add(1);
             self.entries.insert(item.clone(), c);
             c
         } else {
-            self.spillover += 1;
+            self.spillover = self.spillover.saturating_add(1);
             self.spillover
         }
     }
@@ -221,5 +221,15 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         let _ = MisraGries::<u32>::new(0);
+    }
+
+    #[test]
+    fn resident_counts_climb_exactly_below_capacity() {
+        let mut mg = MisraGries::new(4);
+        for expected in 1..=300u64 {
+            assert_eq!(mg.increment(&"hot"), expected);
+        }
+        assert_eq!(mg.estimate(&"hot"), 300);
+        assert_eq!(mg.spillover(), 0);
     }
 }

@@ -87,7 +87,7 @@ impl ActivationTracker for Ocpr {
     ) -> TrackerResponse {
         debug_assert_eq!(row.channel, self.channel);
         let idx = self.geometry.channel_row_index(row) as usize;
-        self.counts[idx] += 1;
+        self.counts[idx] = self.counts[idx].saturating_add(1);
         if self.counts[idx] >= self.threshold {
             self.counts[idx] = 0;
             self.mitigations += 1;
@@ -157,5 +157,24 @@ mod tests {
     fn rejects_bad_config() {
         assert!(Ocpr::new(MemGeometry::tiny(), 0, 1).is_err());
         assert!(Ocpr::new(MemGeometry::tiny(), 7, 10).is_err());
+    }
+
+    #[test]
+    fn counts_cycle_exactly_across_threshold_periods() {
+        let mut o = ocpr();
+        let row = RowAddr::new(0, 0, 3, 4);
+        let mut when = Vec::new();
+        for i in 1..=30 {
+            if !o
+                .on_activation(row, 0, ActivationKind::Demand)
+                .mitigations
+                .is_empty()
+            {
+                when.push(i);
+            }
+        }
+        // Saturating arithmetic must keep the per-row cadence exact.
+        assert_eq!(when, vec![10, 20, 30]);
+        assert_eq!(o.count(row), 0);
     }
 }

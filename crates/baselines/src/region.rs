@@ -110,8 +110,10 @@ impl CounterRegion {
         let depth = region_row / self.channel_banks;
         RowAddr {
             channel: self.channel,
-            rank: (flat_bank / u32::from(self.geometry.banks_per_rank())) as u8,
-            bank: (flat_bank % u32::from(self.geometry.banks_per_rank())) as u8,
+            rank: u8::try_from(flat_bank / u32::from(self.geometry.banks_per_rank()))
+                .unwrap_or(u8::MAX),
+            bank: u8::try_from(flat_bank % u32::from(self.geometry.banks_per_rank()))
+                .unwrap_or(u8::MAX),
             row: self.geometry.rows_per_bank() - 1 - depth,
         }
     }
@@ -171,5 +173,19 @@ mod tests {
         assert!(CounterRegion::new(geom, 9, 10, 1).is_err());
         assert!(CounterRegion::new(geom, 0, 0, 1).is_err());
         assert!(CounterRegion::new(geom, 0, 10, 0).is_err());
+    }
+
+    #[test]
+    fn entry_rows_stay_inside_the_geometry() {
+        let geom = MemGeometry::tiny();
+        let r = CounterRegion::new(geom, 0, 4096, 1).unwrap();
+        // The rank/bank of every counter row comes out of a checked
+        // narrowing; the results must always be real geometry coordinates.
+        for index in [0, 1, 1023, 1024, 4095] {
+            let row = r.dram_row_of_entry(index);
+            assert!(row.rank < geom.ranks_per_channel());
+            assert!(row.bank < geom.banks_per_rank());
+            assert!(row.row < geom.rows_per_bank());
+        }
     }
 }

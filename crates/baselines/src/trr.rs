@@ -104,7 +104,7 @@ impl ActivationTracker for VendorTrr {
         let idx = usize::from(row.rank) * usize::from(self.banks_per_rank) + usize::from(row.bank);
         let table = &mut self.tables[idx];
         if let Some(count) = table.get_mut(&row.row) {
-            *count += 1;
+            *count = count.saturating_add(1);
             if *count >= self.threshold {
                 *count = 0;
                 self.mitigations += 1;
@@ -215,5 +215,19 @@ mod tests {
         assert!(VendorTrr::new(MemGeometry::tiny(), 9, 16, 4).is_err());
         assert!(VendorTrr::new(MemGeometry::tiny(), 0, 0, 4).is_err());
         assert!(VendorTrr::new(MemGeometry::tiny(), 0, 16, 0).is_err());
+    }
+
+    #[test]
+    fn sampled_counts_cycle_exactly_at_the_threshold() {
+        let mut t = trr();
+        let row = RowAddr::new(0, 0, 0, 5);
+        let mut when = Vec::new();
+        for i in 1..=32 {
+            if act(&mut t, row) {
+                when.push(i);
+            }
+        }
+        assert_eq!(when, vec![16, 32]);
+        assert_eq!(t.mitigations(), 2);
     }
 }

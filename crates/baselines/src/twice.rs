@@ -92,7 +92,7 @@ impl TwiceTable {
             return false;
         }
         let count = self.entries.entry(row).or_insert(0);
-        *count += 1;
+        *count = count.saturating_add(1);
         if *count >= self.threshold {
             *count = 0;
             self.mitigations += 1;
@@ -210,5 +210,18 @@ mod tests {
         assert!(TwiceTable::new(4, 0, 10, 2).is_err());
         assert!(TwiceTable::new(4, 10, 0, 2).is_err());
         assert!(TwiceTable::new(4, 10, 10, 10).is_err());
+    }
+
+    #[test]
+    fn counts_cycle_exactly_at_the_threshold() {
+        let mut t = TwiceTable::new(16, 7, 1_000, 4).unwrap();
+        let row = RowAddr::new(0, 0, 0, 2);
+        let mut when = Vec::new();
+        for i in 0..21u64 {
+            if t.on_activation(row, i) {
+                when.push(i + 1);
+            }
+        }
+        assert_eq!(when, vec![7, 14, 21]);
     }
 }

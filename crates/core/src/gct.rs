@@ -88,7 +88,7 @@ impl GroupCountTable {
         if *c >= self.t_g {
             GctOutcome::Saturated
         } else {
-            *c += 1;
+            *c = c.saturating_add(1);
             if *c == self.t_g {
                 GctOutcome::JustSaturated
             } else {
@@ -191,5 +191,20 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_panics() {
         let _ = GroupCountTable::new(0, 5);
+    }
+
+    #[test]
+    fn count_pins_at_t_g_instead_of_wrapping() {
+        let mut gct = GroupCountTable::new(4, 3);
+        assert_eq!(gct.increment(0), GctOutcome::Below);
+        assert_eq!(gct.increment(0), GctOutcome::Below);
+        assert_eq!(gct.increment(0), GctOutcome::JustSaturated);
+        for _ in 0..300 {
+            assert_eq!(gct.increment(0), GctOutcome::Saturated);
+        }
+        // The stored count holds at T_G: it can never climb past the
+        // saturation guard and wrap back below it.
+        assert_eq!(gct.count(0), 3);
+        assert!(gct.is_saturated(0));
     }
 }

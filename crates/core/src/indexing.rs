@@ -125,6 +125,7 @@ fn feistel(value: u64, domain: u64, key: u64) -> u64 {
     let mut left = (value >> right_bits) & left_mask;
     let mut right = value & right_mask;
     for round in 0..4u64 {
+        // lint:allow(counter-arithmetic): round * 17 <= 51 always fits the rotate amount
         let round_key = key.rotate_left((round * 17) as u32) ^ round;
         if round.is_multiple_of(2) {
             left ^= mix(right ^ round_key) & left_mask;

@@ -183,7 +183,7 @@ impl RowCountCache {
                 return Some(victim);
             }
             for way in ways.iter_mut() {
-                way.rrpv += 1;
+                way.rrpv = way.rrpv.saturating_add(1);
             }
         }
     }
@@ -341,5 +341,20 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_entries_panic() {
         let _ = RowCountCache::new(12, 3);
+    }
+
+    #[test]
+    fn sustained_conflict_pressure_always_finds_a_victim() {
+        let mut rcc = RowCountCache::new(8, 2);
+        // A conflict stream into one set: every insert past the two ways
+        // must age the residents until one reaches RRPV_MAX. If aging
+        // wrapped instead of saturating, a resident could look young
+        // forever and the victim search would spin.
+        let sets = rcc.num_sets() as u64;
+        for i in 0..64 {
+            assert!(!rcc.contains(i * sets));
+            rcc.insert(i * sets, 1);
+        }
+        assert_eq!(rcc.evictions(), 62);
     }
 }

@@ -203,13 +203,15 @@ impl RowCountTable {
     /// (one per `row_bytes` counters) lives in flat bank `r % banks`, at
     /// depth `r / banks` from the top of that bank.
     pub fn dram_row_of_slot(&self, slot: u64) -> RowAddr {
-        let region_row = (slot / self.geometry.row_bytes()) as u32;
+        let region_row = u32::try_from(slot / self.geometry.row_bytes()).unwrap_or(u32::MAX);
         let flat_bank = region_row % self.channel_banks;
         let depth = region_row / self.channel_banks;
         RowAddr {
             channel: self.channel,
-            rank: (flat_bank / u32::from(self.geometry.banks_per_rank())) as u8,
-            bank: (flat_bank % u32::from(self.geometry.banks_per_rank())) as u8,
+            rank: u8::try_from(flat_bank / u32::from(self.geometry.banks_per_rank()))
+                .unwrap_or(u8::MAX),
+            bank: u8::try_from(flat_bank % u32::from(self.geometry.banks_per_rank()))
+                .unwrap_or(u8::MAX),
             row: self.geometry.rows_per_bank() - 1 - depth,
         }
     }
@@ -233,7 +235,7 @@ impl RowCountTable {
     pub fn write(&mut self, slot: u64, count: u32) {
         assert!(count <= 255, "RCT entries are one byte, got {count}");
         self.writes += 1;
-        self.counts[slot as usize] = count as u8;
+        self.counts[slot as usize] = u8::try_from(count).unwrap_or(u8::MAX);
     }
 
     /// Peeks at a counter without bumping the access stats (tests only).
@@ -254,7 +256,7 @@ impl RowCountTable {
         let end = group_start + group_rows;
         assert!(end <= self.entry_count(), "group out of range");
         for slot in group_start..end {
-            self.counts[slot as usize] = t_g as u8;
+            self.counts[slot as usize] = u8::try_from(t_g).unwrap_or(u8::MAX);
         }
         self.writes += group_rows.div_ceil(ENTRIES_PER_LINE);
         // Distinct lines touched → distinct DRAM rows (usually one row: a
@@ -379,5 +381,29 @@ mod tests {
     fn oversized_count_panics() {
         let mut t = rct();
         t.write(0, 256);
+    }
+
+    #[test]
+    fn write_and_spill_accept_the_one_byte_ceiling() {
+        let mut t = rct();
+        t.write(3, 255);
+        assert_eq!(t.peek(3), 255);
+        let rows = t.init_group(0, 4, 255);
+        assert!(!rows.is_empty());
+        for slot in 0..4 {
+            assert_eq!(t.peek(slot), 255);
+        }
+    }
+
+    #[test]
+    fn slot_to_row_mapping_stays_inside_the_geometry() {
+        let t = rct();
+        let geom = MemGeometry::tiny();
+        for slot in [0, 1, 4095, t.entry_count() - 1] {
+            let row = t.dram_row_of_slot(slot);
+            assert!(row.rank < geom.ranks_per_channel());
+            assert!(row.bank < geom.banks_per_rank());
+            assert!(row.row < geom.rows_per_bank());
+        }
     }
 }

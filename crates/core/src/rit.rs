@@ -59,7 +59,7 @@ impl RitActTable {
     /// Panics if `index` is out of range.
     pub fn on_activation(&mut self, index: usize) -> bool {
         let c = &mut self.counts[index];
-        *c += 1;
+        *c = c.saturating_add(1);
         if *c >= self.t_h {
             *c = 0;
             self.mitigations += 1;
@@ -126,5 +126,21 @@ mod tests {
     fn baseline_storage_is_half_kb() {
         let rit = RitActTable::new(512, 250);
         assert_eq!(rit.sram_bits(), 512 * 8);
+    }
+
+    #[test]
+    fn counts_cycle_exactly_through_many_t_h_periods() {
+        let mut rit = RitActTable::new(8, 5);
+        let mut mitigated = 0u64;
+        for _ in 0..17 {
+            if rit.on_activation(2) {
+                mitigated += 1;
+            }
+        }
+        // 17 activations at T_H = 5: resets at 5, 10 and 15, leaving 2.
+        // Saturating arithmetic must not round this cadence off.
+        assert_eq!(mitigated, 3);
+        assert_eq!(rit.mitigations(), 3);
+        assert_eq!(rit.count(2), 2);
     }
 }

@@ -256,7 +256,7 @@ impl<R: RctBackend, P: EventSink> Hydra<R, P> {
         if self.config.use_rcc && fresh_count.is_none() {
             if let Some(count) = self.rcc.lookup_mut(slot) {
                 // Case 2: RCC hit — update in place.
-                *count += 1;
+                *count = count.saturating_add(1);
                 self.stats.rcc_hits += 1;
                 let observed = *count;
                 let mitigate = observed >= t_h;
@@ -1012,5 +1012,28 @@ mod tests {
         if let Ok(c) = config {
             assert!(Hydra::new(c).is_err());
         }
+    }
+
+    #[test]
+    fn rcc_hit_counts_climb_one_per_activation() {
+        let mut h = small();
+        let row = RowAddr::new(0, 0, 0, 7);
+        // Saturate the group (T_G = 12), then keep hammering: the later
+        // activations count in the RCC in place, and each must add exactly
+        // one for the first mitigation to land exactly at T_H = 16.
+        let mut first = None;
+        for i in 1..=16u32 {
+            if !act(&mut h, row).mitigations.is_empty() {
+                first.get_or_insert(i);
+            }
+        }
+        assert_eq!(first, Some(16));
+        let s = h.stats();
+        assert_eq!(s.mitigations, 1);
+        assert!(
+            s.rcc_hits >= 3,
+            "expected RCC-resident counting, got {} hits",
+            s.rcc_hits
+        );
     }
 }

@@ -13,7 +13,9 @@
 //! - [`pool`] — a hand-rolled worker pool (plain `std`, no registry
 //!   dependencies): scoped threads over a bounded MPSC queue, results
 //!   returned in submission order, panics attributed to the exact item
-//!   that raised them.
+//!   that raised them. Its wire protocol lives in [`protocol`], shared
+//!   with `hydra-analysis`'s exhaustive schedule explorer so the checked
+//!   model and the shipped code cannot drift apart.
 //! - [`shard`] — the sharded multi-channel simulator: one independent
 //!   tracker per memory channel, per-channel substreams replayed
 //!   concurrently, merged with order-insensitive reductions so the
@@ -34,6 +36,7 @@
 use std::fmt;
 
 pub mod pool;
+pub mod protocol;
 pub mod shard;
 pub mod sweep;
 

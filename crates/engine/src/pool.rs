@@ -21,38 +21,8 @@ use std::any::Any;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 
-/// Terminal state of one pool item.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CellOutcome<R> {
-    /// The task ran to completion.
-    Done(R),
-    /// The task panicked on its worker; the payload message is preserved.
-    Panicked(String),
-    /// The task was never claimed (every worker died before reaching it).
-    Skipped,
-}
-
-impl<R> CellOutcome<R> {
-    /// True iff the task completed.
-    pub fn is_done(&self) -> bool {
-        matches!(self, CellOutcome::Done(_))
-    }
-
-    /// The completed result, if any.
-    pub fn into_done(self) -> Option<R> {
-        match self {
-            CellOutcome::Done(r) => Some(r),
-            _ => None,
-        }
-    }
-}
-
-/// Worker → supervisor messages. `Claimed` precedes the computation so a
-/// panicking worker can be attributed to the exact item it was running.
-enum Msg<R> {
-    Claimed { worker: usize, index: usize },
-    Done { index: usize, result: R },
-}
+pub use crate::protocol::CellOutcome;
+use crate::protocol::{ProtocolVariant, Supervisor, WorkerMsg};
 
 /// A fixed-width worker pool. Cheap to construct; each
 /// [`run_ordered`](WorkerPool::run_ordered) call spawns fresh scoped
@@ -89,18 +59,23 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        // Production always runs the faithful protocol; the mutations in
+        // `ProtocolVariant` exist only for the schedule explorer (see
+        // `crate::protocol`) and are never selected here.
+        let variant = ProtocolVariant::Faithful;
         let workers = self.workers.min(n);
-        let mut outcomes: Vec<CellOutcome<R>> = (0..n).map(|_| CellOutcome::Skipped).collect();
 
         // Bounded hand-off queue: the feeder blocks once `workers` items
         // are in flight. The receiver is shared via Arc so that when the
         // last worker exits (normally or by panic) the channel disconnects
         // and a blocked feeder unblocks with an error instead of
         // deadlocking.
-        let (work_tx, work_rx) = mpsc::sync_channel::<(usize, T)>(workers);
+        let (work_tx, work_rx) =
+            mpsc::sync_channel::<(usize, T)>(variant.queue_capacity(workers, n));
         let work_rx = Arc::new(Mutex::new(work_rx));
-        let (msg_tx, msg_rx) = mpsc::channel::<Msg<R>>();
+        let (msg_tx, msg_rx) = mpsc::channel::<WorkerMsg<R>>();
 
+        let mut supervisor = Supervisor::new(n, workers, variant);
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for worker in 0..workers {
@@ -115,11 +90,13 @@ impl WorkerPool {
                         Err(_) => return,
                     };
                     let Ok((index, item)) = next else { return };
-                    if msg_tx.send(Msg::Claimed { worker, index }).is_err() {
+                    if variant.claim_before_compute()
+                        && msg_tx.send(WorkerMsg::Claimed { worker, index }).is_err()
+                    {
                         return;
                     }
                     let result = f(index, item);
-                    if msg_tx.send(Msg::Done { index, result }).is_err() {
+                    if msg_tx.send(WorkerMsg::Done { index, result }).is_err() {
                         return;
                     }
                 }));
@@ -137,26 +114,16 @@ impl WorkerPool {
             }
             drop(work_tx);
 
-            let mut claimed: Vec<Option<usize>> = vec![None; workers];
             while let Ok(msg) = msg_rx.recv() {
-                match msg {
-                    Msg::Claimed { worker, index } => claimed[worker] = Some(index),
-                    Msg::Done { index, result } => {
-                        outcomes[index] = CellOutcome::Done(result);
-                    }
-                }
+                supervisor.on_message(msg);
             }
             for (worker, handle) in handles.into_iter().enumerate() {
                 if let Err(payload) = handle.join() {
-                    if let Some(index) = claimed[worker] {
-                        if !outcomes[index].is_done() {
-                            outcomes[index] = CellOutcome::Panicked(panic_message(payload));
-                        }
-                    }
+                    supervisor.on_worker_panic(worker, panic_message(payload));
                 }
             }
         });
-        outcomes
+        supervisor.into_outcomes()
     }
 }
 

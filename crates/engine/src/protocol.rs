@@ -1,0 +1,255 @@
+//! The worker-pool wire protocol, factored out of [`crate::pool`] so the
+//! verification layer can model-check it.
+//!
+//! [`pool::WorkerPool`](crate::pool::WorkerPool) runs this protocol on real
+//! threads; `hydra-analysis`'s schedule explorer runs the *same* types and
+//! the *same* supervisor settlement logic inside a virtual single-threaded
+//! scheduler that enumerates every interleaving. Anything duplicated
+//! between the two would be exactly the code the model checker silently
+//! stops checking — so the message enum, the outcome type, the settlement
+//! state machine ([`Supervisor`]) and the protocol decision points
+//! ([`ProtocolVariant`]) all live here and nowhere else.
+//!
+//! # Seeded mutations
+//!
+//! With the `verify-mutations` cargo feature, [`ProtocolVariant`] grows
+//! deliberately broken variants (skip the Claimed handshake, slot results
+//! by completion order, drop the submission bound). Production code always
+//! passes [`ProtocolVariant::Faithful`]; the mutations exist so the
+//! explorer can prove it would catch a protocol regression — a checker
+//! that has never seen a bug it can find is just a very slow comment.
+
+/// Terminal state of one pool item.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CellOutcome<R> {
+    /// The task ran to completion.
+    Done(R),
+    /// The task panicked on its worker; the payload message is preserved.
+    Panicked(String),
+    /// The task was never claimed (every worker died before reaching it).
+    Skipped,
+}
+
+impl<R> CellOutcome<R> {
+    /// True iff the task completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, CellOutcome::Done(_))
+    }
+
+    /// The completed result, if any.
+    pub fn into_done(self) -> Option<R> {
+        match self {
+            CellOutcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Worker → supervisor messages. `Claimed` precedes the computation so a
+/// panicking worker can be attributed to the exact item it was running.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WorkerMsg<R> {
+    /// Worker `worker` is about to run item `index`.
+    Claimed {
+        /// Worker slot that claimed the item.
+        worker: usize,
+        /// Item index being claimed.
+        index: usize,
+    },
+    /// Item `index` completed with `result`.
+    Done {
+        /// Item index that completed.
+        index: usize,
+        /// The computed result.
+        result: R,
+    },
+}
+
+/// Which variant of the protocol to run. Production is always
+/// [`ProtocolVariant::Faithful`]; the mutations are compiled only under
+/// the `verify-mutations` feature and exist to prove the schedule explorer
+/// has teeth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolVariant {
+    /// The shipping protocol.
+    Faithful,
+    /// Mutation: workers never send `Claimed`, so a panicking worker can
+    /// no longer be attributed to its item (the item decays to `Skipped`).
+    #[cfg(feature = "verify-mutations")]
+    SkipClaimedHandshake,
+    /// Mutation: the supervisor slots `Done` results in completion order
+    /// instead of by submission index.
+    #[cfg(feature = "verify-mutations")]
+    CompletionOrderDelivery,
+    /// Mutation: the submission queue is unbounded, letting the feeder
+    /// race arbitrarily far ahead of the workers.
+    #[cfg(feature = "verify-mutations")]
+    UnboundedSubmission,
+}
+
+impl ProtocolVariant {
+    /// Does a worker announce its claim before computing?
+    pub fn claim_before_compute(self) -> bool {
+        #[cfg(feature = "verify-mutations")]
+        if self == ProtocolVariant::SkipClaimedHandshake {
+            return false;
+        }
+        true
+    }
+
+    /// Does the supervisor slot a `Done` result at its submission index?
+    pub fn slot_by_index(self) -> bool {
+        #[cfg(feature = "verify-mutations")]
+        if self == ProtocolVariant::CompletionOrderDelivery {
+            return false;
+        }
+        true
+    }
+
+    /// Capacity of the bounded submission queue.
+    pub fn queue_capacity(self, workers: usize, items: usize) -> usize {
+        #[cfg(feature = "verify-mutations")]
+        if self == ProtocolVariant::UnboundedSubmission {
+            return items.max(workers);
+        }
+        let _ = items;
+        workers
+    }
+}
+
+/// The supervisor's settlement state machine: consumes [`WorkerMsg`]s
+/// during the drain phase and panic reports during the join phase, and
+/// produces the final per-item outcome vector. Shared verbatim between the
+/// threaded pool and the schedule explorer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Supervisor<R> {
+    outcomes: Vec<CellOutcome<R>>,
+    claimed: Vec<Option<usize>>,
+    next_slot: usize,
+    variant: ProtocolVariant,
+}
+
+impl<R> Supervisor<R> {
+    /// A settlement machine for `items` items across `workers` workers.
+    pub fn new(items: usize, workers: usize, variant: ProtocolVariant) -> Self {
+        Supervisor {
+            outcomes: (0..items).map(|_| CellOutcome::Skipped).collect(),
+            claimed: vec![None; workers],
+            next_slot: 0,
+            variant,
+        }
+    }
+
+    /// Handles one worker message (drain phase).
+    pub fn on_message(&mut self, msg: WorkerMsg<R>) {
+        match msg {
+            WorkerMsg::Claimed { worker, index } => {
+                if let Some(slot) = self.claimed.get_mut(worker) {
+                    *slot = Some(index);
+                }
+            }
+            WorkerMsg::Done { index, result } => {
+                let slot = if self.variant.slot_by_index() {
+                    index
+                } else {
+                    let s = self.next_slot;
+                    self.next_slot += 1;
+                    s
+                };
+                if let Some(out) = self.outcomes.get_mut(slot) {
+                    *out = CellOutcome::Done(result);
+                }
+            }
+        }
+    }
+
+    /// Handles one worker's panic payload (join phase): the panic lands on
+    /// the item the worker last claimed, unless that item already
+    /// completed (the worker panicked between finishing it and exiting).
+    pub fn on_worker_panic(&mut self, worker: usize, message: String) {
+        if let Some(Some(index)) = self.claimed.get(worker) {
+            if let Some(out) = self.outcomes.get_mut(*index) {
+                if !out.is_done() {
+                    *out = CellOutcome::Panicked(message);
+                }
+            }
+        }
+    }
+
+    /// The item currently attributed to `worker`, if any.
+    pub fn claimed_by(&self, worker: usize) -> Option<usize> {
+        self.claimed.get(worker).copied().flatten()
+    }
+
+    /// Read access to the outcomes settled so far.
+    pub fn outcomes(&self) -> &[CellOutcome<R>] {
+        &self.outcomes
+    }
+
+    /// Finishes settlement and yields the per-item outcomes in submission
+    /// order.
+    pub fn into_outcomes(self) -> Vec<CellOutcome<R>> {
+        self.outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faithful_variant_keeps_the_shipping_decisions() {
+        let v = ProtocolVariant::Faithful;
+        assert!(v.claim_before_compute());
+        assert!(v.slot_by_index());
+        assert_eq!(v.queue_capacity(3, 100), 3);
+    }
+
+    #[test]
+    fn supervisor_settles_done_by_index_and_attributes_panics() {
+        let mut sup: Supervisor<u32> = Supervisor::new(3, 2, ProtocolVariant::Faithful);
+        sup.on_message(WorkerMsg::Claimed {
+            worker: 0,
+            index: 1,
+        });
+        sup.on_message(WorkerMsg::Done {
+            index: 2,
+            result: 20,
+        });
+        assert_eq!(sup.claimed_by(0), Some(1));
+        sup.on_worker_panic(0, "boom".to_string());
+        sup.on_worker_panic(1, "never claimed anything".to_string());
+        let out = sup.into_outcomes();
+        assert_eq!(out[0], CellOutcome::Skipped);
+        assert_eq!(out[1], CellOutcome::Panicked("boom".to_string()));
+        assert_eq!(out[2], CellOutcome::Done(20));
+    }
+
+    #[test]
+    fn panic_after_completion_does_not_clobber_the_result() {
+        let mut sup: Supervisor<u32> = Supervisor::new(1, 1, ProtocolVariant::Faithful);
+        sup.on_message(WorkerMsg::Claimed {
+            worker: 0,
+            index: 0,
+        });
+        sup.on_message(WorkerMsg::Done {
+            index: 0,
+            result: 7,
+        });
+        sup.on_worker_panic(0, "late panic".to_string());
+        assert_eq!(sup.into_outcomes()[0], CellOutcome::Done(7));
+    }
+
+    #[cfg(feature = "verify-mutations")]
+    #[test]
+    fn mutations_flip_exactly_their_own_decision() {
+        let skip = ProtocolVariant::SkipClaimedHandshake;
+        assert!(!skip.claim_before_compute());
+        assert!(skip.slot_by_index());
+        let order = ProtocolVariant::CompletionOrderDelivery;
+        assert!(order.claim_before_compute());
+        assert!(!order.slot_by_index());
+        let unbounded = ProtocolVariant::UnboundedSubmission;
+        assert_eq!(unbounded.queue_capacity(2, 5), 5);
+    }
+}

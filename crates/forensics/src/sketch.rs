@@ -77,11 +77,11 @@ impl CountMinSketch {
 
     /// Records one occurrence of `key`, returning its new estimate.
     pub fn increment(&mut self, key: u64) -> u64 {
-        self.total += 1;
+        self.total = self.total.saturating_add(1);
         let mut est = u64::MAX;
         for d in 0..self.depth {
             let idx = d * self.width + self.bucket(d, key);
-            self.counters[idx] += 1;
+            self.counters[idx] = self.counters[idx].saturating_add(1);
             est = est.min(self.counters[idx]);
         }
         est
@@ -167,5 +167,15 @@ mod tests {
         assert_eq!(cms.depth(), 1);
         let cms = CountMinSketch::new(4, 100);
         assert_eq!(cms.depth(), ROW_SEEDS.len());
+    }
+
+    #[test]
+    fn single_key_counts_stay_exact() {
+        let mut cms = CountMinSketch::new(64, 4);
+        for expected in 1..=300u64 {
+            assert_eq!(cms.increment(7), expected);
+        }
+        assert_eq!(cms.estimate(7), 300);
+        assert_eq!(cms.total(), 300);
     }
 }
