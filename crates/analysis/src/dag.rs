@@ -78,6 +78,19 @@ pub const CRATE_DAG: &[CrateLayer] = &[
         deps: &["types", "telemetry", "baselines"],
     },
     CrateLayer {
+        name: "server",
+        deps: &[
+            "types",
+            "telemetry",
+            "dram",
+            "core",
+            "sim",
+            "engine",
+            "faults",
+            "forensics",
+        ],
+    },
+    CrateLayer {
         name: "bench",
         deps: &[
             "types",

@@ -27,8 +27,12 @@
 //!   user-supplied field with `.min(..)`/`.max(..)`.
 //! * **`catch-unwind-layer`** — `catch_unwind` only in the batch harness
 //!   (`crates/sim/src/batch.rs`).
-//! * **`thread-spawn-layer`** — thread creation only in `crates/engine` and
-//!   the batch harness.
+//! * **`thread-spawn-layer`** — thread creation only in `crates/engine`,
+//!   `crates/server` (the activation daemon) and the batch harness.
+//! * **`io-layer`** — Unix-socket I/O (`UnixListener`/`UnixStream`/
+//!   `UnixDatagram`) only in `crates/server`: the daemon is the single
+//!   process boundary, so socket lifecycle, backpressure and reconnect
+//!   semantics live in one audited place.
 //! * **`schema-single-source`** — each wire-format schema literal is
 //!   spelled out only in its declared defining file; everywhere else must
 //!   import the constant.
@@ -105,7 +109,7 @@ pub struct RuleInfo {
 /// otherwise), and `hydra-verify self-test` proves every entry fires on a
 /// known-bad snippet — so this table, the implementation, and the DESIGN.md
 /// catalog cannot drift apart silently.
-pub const RULES: [RuleInfo; 9] = [
+pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: "forbid-unsafe",
         severity: Severity::Error,
@@ -139,8 +143,14 @@ pub const RULES: [RuleInfo; 9] = [
     RuleInfo {
         id: "thread-spawn-layer",
         severity: Severity::Error,
-        summary: "thread creation only in crates/engine and the batch harness",
+        summary: "thread creation only in crates/engine, crates/server and the batch harness",
         fix_hint: "run parallel work through WorkerPool or BatchRunner",
+    },
+    RuleInfo {
+        id: "io-layer",
+        severity: Severity::Error,
+        summary: "Unix-socket I/O only in crates/server (the activation daemon)",
+        fix_hint: "talk to the daemon through hydra_server::Client instead of opening sockets",
     },
     RuleInfo {
         id: "schema-single-source",
@@ -265,7 +275,7 @@ fn json_str(s: &str) -> String {
 /// (literal, constant to import, workspace-relative defining file). The
 /// defining file is the only library source allowed to spell the literal
 /// out; this table (and the engine source carrying it) is exempt.
-pub const SCHEMA_LITERALS: [(&str, &str, &str); 4] = [
+pub const SCHEMA_LITERALS: [(&str, &str, &str); 5] = [
     (
         "hydra-trace-v1",
         "hydra_telemetry::TRACE_SCHEMA_VERSION",
@@ -285,6 +295,11 @@ pub const SCHEMA_LITERALS: [(&str, &str, &str); 4] = [
         "hydra-sweep-v1",
         "hydra_engine::SWEEP_SCHEMA_VERSION",
         "crates/engine/src/sweep.rs",
+    ),
+    (
+        "hydra-serve-v1",
+        "hydra_server::SERVE_SCHEMA_VERSION",
+        "crates/server/src/frame.rs",
     ),
 ];
 
@@ -628,7 +643,13 @@ impl<'s> ScannedFile<'s> {
     }
 
     fn is_thread_layer(&self) -> bool {
-        self.is_panic_boundary() || self.crate_name() == Some("engine")
+        self.is_panic_boundary() || matches!(self.crate_name(), Some("engine") | Some("server"))
+    }
+
+    /// The activation daemon owns the process boundary: Unix-socket I/O
+    /// lives there and nowhere else.
+    fn is_io_layer(&self) -> bool {
+        self.crate_name() == Some("server")
     }
 
     /// The lint engine itself carries the schema and rule tables.
@@ -708,11 +729,29 @@ impl<'s> ScannedFile<'s> {
                             "thread-spawn-layer",
                             tok.line,
                             format!(
-                                "thread::{meth} outside the thread layer (crates/engine, crates/sim/src/batch.rs); run parallel work through WorkerPool or BatchRunner instead"
+                                "thread::{meth} outside the thread layer (crates/engine, crates/server, crates/sim/src/batch.rs); run parallel work through WorkerPool or BatchRunner instead"
                             ),
                         );
                     }
                 }
+            }
+
+            // io-layer: Unix-socket types outside the daemon crate (test
+            // modules included: process-boundary I/O is the daemon's
+            // exclusive privilege, like panic containment is the batch
+            // harness's).
+            if tok.kind == TokenKind::Ident
+                && matches!(text, "UnixListener" | "UnixStream" | "UnixDatagram")
+                && !self.is_io_layer()
+            {
+                self.emit(
+                    findings,
+                    "io-layer",
+                    tok.line,
+                    format!(
+                        "{text} outside the I/O layer (crates/server); talk to the daemon through hydra_server::Client instead of opening sockets"
+                    ),
+                );
             }
 
             // schema-single-source: a schema literal in a string outside
@@ -1098,7 +1137,7 @@ struct SelfTestCase {
 
 const FORBID: &str = "#![forbid(unsafe_code)]\n";
 
-const SELF_TEST_CASES: [SelfTestCase; 9] = [
+const SELF_TEST_CASES: [SelfTestCase; 10] = [
     SelfTestCase {
         rule: "forbid-unsafe",
         files: &[("src/lib.rs", "pub fn f() {}\n")],
@@ -1136,6 +1175,13 @@ const SELF_TEST_CASES: [SelfTestCase; 9] = [
         files: &[(
             "src/lib.rs",
             "#![forbid(unsafe_code)]\npub fn f() { std::thread::spawn(|| {}).join().ok(); }\n",
+        )],
+    },
+    SelfTestCase {
+        rule: "io-layer",
+        files: &[(
+            "src/lib.rs",
+            "#![forbid(unsafe_code)]\nuse std::os::unix::net::UnixListener;\npub fn f(l: &UnixListener) -> bool { l.local_addr().is_ok() }\n",
         )],
     },
     SelfTestCase {
@@ -1449,6 +1495,42 @@ mod tests {
         .unwrap();
         let diags = lint_workspace(&root).unwrap();
         let _ = fs::remove_dir_all(&root);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_unix_sockets_outside_the_io_layer() {
+        let diags = lint_at(
+            "iolayer",
+            "telemetry",
+            "x.rs",
+            "use std::os::unix::net::UnixStream;\npub fn f(path: &std::path::Path) -> bool {\n    UnixStream::connect(path).is_ok()\n}\n",
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "io-layer"));
+        assert_eq!(diags[0].line, 1);
+        assert!(diags[0].message.contains("UnixStream"));
+    }
+
+    #[test]
+    fn allows_unix_sockets_in_the_server_crate() {
+        let diags = lint_at(
+            "iolayerok",
+            "server",
+            "x.rs",
+            "use std::os::unix::net::{UnixListener, UnixStream};\npub fn f(l: &UnixListener) -> std::io::Result<UnixStream> {\n    l.accept().map(|(s, _)| s)\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allows_thread_spawn_in_the_server_crate() {
+        let diags = lint_at(
+            "spawnsrv",
+            "server",
+            "x.rs",
+            "pub fn f() {\n    std::thread::spawn(|| 1).join().ok();\n}\n",
+        );
         assert!(diags.is_empty(), "{diags:?}");
     }
 

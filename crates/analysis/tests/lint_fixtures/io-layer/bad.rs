@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! Known-bad: opens a raw daemon socket outside `crates/server`.
+
+use std::os::unix::net::UnixStream;
+
+/// Pushes raw bytes straight at the daemon socket, bypassing the
+/// client's framing, backoff and fault accounting.
+pub fn push(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut stream = UnixStream::connect(path)?;
+    stream.write_all(bytes)
+}

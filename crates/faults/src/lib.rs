@@ -15,6 +15,10 @@
 //!   controller-path and clock faults. Its [`FaultyTracker::hydra`]
 //!   constructor additionally injects *structural* SRAM faults (GCT
 //!   stuck-at counters, RCC fill corruption) through Hydra's mutable seams.
+//! * [`WireInjector`] mangles encoded protocol frames (bit flips,
+//!   truncation, duplication, delay) between a client and the service
+//!   daemon — transport faults. Frames are opaque bytes here, so this
+//!   crate stays below `hydra-server` in the crate DAG.
 //! * [`FaultPlan`] is the declarative, seedable description of all of the
 //!   above: same plan + same stream ⇒ bit-identical fault sequence, which
 //!   is what makes failing runs replayable.
@@ -54,10 +58,12 @@
 pub mod plan;
 pub mod rct;
 pub mod tracker;
+pub mod wire;
 
 pub use plan::FaultPlan;
 pub use rct::FaultyRct;
 pub use tracker::{FaultLog, FaultyTracker};
+pub use wire::{WireDelivery, WireFault, WireFaultLog, WireInjector};
 
 use hydra_core::tracker::Hydra;
 use hydra_core::{HydraConfig, RowCountTable};

@@ -20,6 +20,10 @@ use std::fmt;
 /// | `drop_mitigation` | each issued mitigation | [`crate::FaultyTracker`] |
 /// | `delay_mitigation` | each issued mitigation | [`crate::FaultyTracker`] |
 /// | `postpone_reset` | each window reset | [`crate::FaultyTracker`] |
+/// | `wire_bit_flip` | each encoded frame on the wire | [`crate::WireInjector`] |
+/// | `wire_truncate` | each encoded frame on the wire | [`crate::WireInjector`] |
+/// | `wire_duplicate` | each encoded frame on the wire | [`crate::WireInjector`] |
+/// | `wire_delay` | each encoded frame on the wire | [`crate::WireInjector`] |
 ///
 /// `gct_stuck` lists `(group, value)` stuck-at faults applied continuously.
 ///
@@ -59,6 +63,18 @@ pub struct FaultPlan {
     pub postpone_reset: f64,
     /// Activations a postponed reset waits before being applied.
     pub reset_jitter_acts: u64,
+    /// Probability an encoded frame has one random payload bit flipped
+    /// on the wire.
+    pub wire_bit_flip: f64,
+    /// Probability an encoded frame is truncated at a random byte.
+    pub wire_truncate: f64,
+    /// Probability an encoded frame is delivered twice.
+    pub wire_duplicate: f64,
+    /// Probability an encoded frame is delayed by
+    /// [`wire_delay_ms`](Self::wire_delay_ms) before delivery.
+    pub wire_delay: f64,
+    /// Milliseconds a delayed frame waits before delivery.
+    pub wire_delay_ms: u64,
 }
 
 impl Default for FaultPlan {
@@ -82,6 +98,11 @@ impl FaultPlan {
             delay_acts: 64,
             postpone_reset: 0.0,
             reset_jitter_acts: 256,
+            wire_bit_flip: 0.0,
+            wire_truncate: 0.0,
+            wire_duplicate: 0.0,
+            wire_delay: 0.0,
+            wire_delay_ms: 5,
         }
     }
 
@@ -94,6 +115,15 @@ impl FaultPlan {
             && self.drop_mitigation == 0.0
             && self.delay_mitigation == 0.0
             && self.postpone_reset == 0.0
+            && self.wire_is_zero()
+    }
+
+    /// True if this plan injects nothing at the wire layer.
+    pub fn wire_is_zero(&self) -> bool {
+        self.wire_bit_flip == 0.0
+            && self.wire_truncate == 0.0
+            && self.wire_duplicate == 0.0
+            && self.wire_delay == 0.0
     }
 
     /// Sets the RNG seed.
@@ -146,8 +176,35 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the wire bit-flip rate.
+    pub fn with_wire_bit_flip(mut self, rate: f64) -> Self {
+        self.wire_bit_flip = checked_rate(rate, "wire_bit_flip");
+        self
+    }
+
+    /// Sets the wire truncation rate.
+    pub fn with_wire_truncate(mut self, rate: f64) -> Self {
+        self.wire_truncate = checked_rate(rate, "wire_truncate");
+        self
+    }
+
+    /// Sets the wire frame-duplication rate.
+    pub fn with_wire_duplicate(mut self, rate: f64) -> Self {
+        self.wire_duplicate = checked_rate(rate, "wire_duplicate");
+        self
+    }
+
+    /// Sets the wire delay rate and delay length.
+    pub fn with_wire_delay(mut self, rate: f64, delay_ms: u64) -> Self {
+        self.wire_delay = checked_rate(rate, "wire_delay");
+        self.wire_delay_ms = delay_ms;
+        self
+    }
+
     /// A uniform plan: every rate set to `rate` (mitigation-drop included),
-    /// no stuck-at faults. The workhorse of the degradation table.
+    /// no stuck-at faults. The workhorse of the degradation table. Wire
+    /// rates stay zero — the degradation table measures the tracker, not
+    /// the transport; use [`uniform_wire`](Self::uniform_wire) for those.
     pub fn uniform(rate: f64, seed: u64) -> Self {
         FaultPlan::none()
             .with_seed(seed)
@@ -157,6 +214,17 @@ impl FaultPlan {
             .with_drop_mitigation(rate)
             .with_delay_mitigation(rate, 64)
             .with_postpone_reset(rate, 256)
+    }
+
+    /// A uniform wire-only plan: every wire rate set to `rate`, tracker
+    /// rates zero. The frame-corruptor adversary of `hydra load`.
+    pub fn uniform_wire(rate: f64, seed: u64) -> Self {
+        FaultPlan::none()
+            .with_seed(seed)
+            .with_wire_bit_flip(rate)
+            .with_wire_truncate(rate)
+            .with_wire_duplicate(rate)
+            .with_wire_delay(rate, 5)
     }
 
     /// Serializes to `fault.key=value` lines (the replay-artifact format).
@@ -171,6 +239,11 @@ impl FaultPlan {
             format!("fault.delay_acts={}", self.delay_acts),
             format!("fault.postpone_reset={}", self.postpone_reset),
             format!("fault.reset_jitter_acts={}", self.reset_jitter_acts),
+            format!("fault.wire_bit_flip={}", self.wire_bit_flip),
+            format!("fault.wire_truncate={}", self.wire_truncate),
+            format!("fault.wire_duplicate={}", self.wire_duplicate),
+            format!("fault.wire_delay={}", self.wire_delay),
+            format!("fault.wire_delay_ms={}", self.wire_delay_ms),
         ];
         for (group, value) in &self.gct_stuck {
             lines.push(format!("fault.gct_stuck={group}:{value}"));
@@ -209,6 +282,11 @@ impl FaultPlan {
                 "reset_jitter_acts" => {
                     plan.reset_jitter_acts = value.parse().map_err(|e| bad(&e))?
                 }
+                "wire_bit_flip" => plan.wire_bit_flip = parse_rate(value, key)?,
+                "wire_truncate" => plan.wire_truncate = parse_rate(value, key)?,
+                "wire_duplicate" => plan.wire_duplicate = parse_rate(value, key)?,
+                "wire_delay" => plan.wire_delay = parse_rate(value, key)?,
+                "wire_delay_ms" => plan.wire_delay_ms = value.parse().map_err(|e| bad(&e))?,
                 "gct_stuck" => {
                     let (g, v) = value
                         .split_once(':')
@@ -258,11 +336,29 @@ mod tests {
     fn kv_round_trip() {
         let plan = FaultPlan::uniform(1e-3, 99)
             .with_gct_stuck(5, 0)
-            .with_gct_stuck(9, 200);
+            .with_gct_stuck(9, 200)
+            .with_wire_bit_flip(0.25)
+            .with_wire_truncate(0.125)
+            .with_wire_duplicate(0.0625)
+            .with_wire_delay(0.5, 17);
         let lines = plan.to_kv_lines();
         let parsed =
             FaultPlan::from_kv_lines(lines.iter().map(|s| s.as_str())).expect("round trip");
         assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn wire_rates_count_toward_is_zero_but_not_uniform() {
+        assert!(!FaultPlan::none().with_wire_truncate(0.5).is_zero());
+        assert!(!FaultPlan::uniform_wire(0.5, 1).is_zero());
+        // The tracker-side degradation tables must be unaffected by the
+        // wire extension: uniform() keeps wire rates at zero.
+        assert!(FaultPlan::uniform(1e-3, 7).wire_is_zero());
+        assert!(!FaultPlan::uniform_wire(1e-3, 7).wire_is_zero());
+        // And the wire-only plan injects nothing tracker-side.
+        let wire = FaultPlan::uniform_wire(0.5, 1);
+        assert_eq!(wire.rct_read_flip, 0.0);
+        assert_eq!(wire.drop_mitigation, 0.0);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Wire-level fault injection: deterministic corruption of encoded
+//! frames *between* a client and the service daemon.
+//!
+//! The tracker-side wrappers in this crate corrupt counter state; the
+//! [`WireInjector`] corrupts the transport instead. It is deliberately
+//! ignorant of the frame format — frames are opaque byte strings — so
+//! the faults crate stays below `hydra-server` in the crate DAG, and the
+//! injector can mangle *any* length-prefixed protocol. The daemon's
+//! codec must survive whatever comes out: flipped payload bits (checksum
+//! rejection), truncated frames (resync), duplicated frames (sequence
+//! rejection) and delayed frames (watchdog exercise).
+//!
+//! Determinism contract: same [`FaultPlan`] + same sequence of
+//! [`deliver`](WireInjector::deliver) calls ⇒ bit-identical fault
+//! decisions, like every other stream in this crate. With all wire rates
+//! zero the injector is a proven pass-through that never draws from its
+//! RNG.
+
+use crate::plan::FaultPlan;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain-separation constant so the wire fault stream differs from the
+/// tracker- and RCT-level streams under the same plan seed.
+const WIRE_STREAM: u64 = 0x5749_5245_4c4e_4b00; // "WIRELNK\0"
+
+/// One fault applied to one delivered frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFault {
+    /// Payload bit `bit` of byte `byte` was flipped.
+    BitFlip {
+        /// Index of the corrupted byte within the frame.
+        byte: usize,
+        /// Bit position (0–7) flipped within that byte.
+        bit: u8,
+    },
+    /// The frame was cut down to its first `keep` bytes.
+    Truncate {
+        /// Bytes that survived the truncation.
+        keep: usize,
+    },
+    /// The frame was delivered twice.
+    Duplicate,
+    /// Delivery was delayed by `ms` milliseconds.
+    Delay {
+        /// The injected delay.
+        ms: u64,
+    },
+}
+
+/// Running totals of injected wire faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireFaultLog {
+    /// Frames that had a payload bit flipped.
+    pub bit_flips: u64,
+    /// Frames truncated mid-flight.
+    pub truncations: u64,
+    /// Frames delivered twice.
+    pub duplicates: u64,
+    /// Frames whose delivery was delayed.
+    pub delays: u64,
+}
+
+impl WireFaultLog {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.bit_flips + self.truncations + self.duplicates + self.delays
+    }
+}
+
+/// What actually goes on the wire for one offered frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDelivery {
+    /// The byte strings to write, in order (two entries on duplication,
+    /// possibly corrupted or truncated).
+    pub frames: Vec<Vec<u8>>,
+    /// Milliseconds to wait before writing anything.
+    pub delay_ms: u64,
+    /// Every fault applied to this delivery, in decision order.
+    pub faults: Vec<WireFault>,
+}
+
+impl WireDelivery {
+    /// True iff the delivery is the offered frame, unchanged and on time.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Deterministic per-connection wire mangler driven by a [`FaultPlan`]'s
+/// `wire_*` rates.
+#[derive(Debug, Clone)]
+pub struct WireInjector {
+    rng: SmallRng,
+    bit_flip: f64,
+    truncate: f64,
+    duplicate: f64,
+    delay: f64,
+    delay_ms: u64,
+    log: WireFaultLog,
+}
+
+impl WireInjector {
+    /// An injector drawing fault decisions from the plan's seed.
+    pub fn new(plan: &FaultPlan) -> Self {
+        WireInjector {
+            rng: SmallRng::seed_from_u64(plan.seed ^ WIRE_STREAM),
+            bit_flip: plan.wire_bit_flip,
+            truncate: plan.wire_truncate,
+            duplicate: plan.wire_duplicate,
+            delay: plan.wire_delay,
+            delay_ms: plan.wire_delay_ms,
+            log: WireFaultLog::default(),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn log(&self) -> WireFaultLog {
+        self.log
+    }
+
+    /// Decides the fate of one outgoing frame. Decision order is fixed
+    /// (flip, truncate, duplicate, delay) so the stream is reproducible;
+    /// zero-rate gates never draw from the RNG.
+    pub fn deliver(&mut self, frame: &[u8]) -> WireDelivery {
+        let mut faults = Vec::new();
+        let mut data = frame.to_vec();
+        if self.bit_flip > 0.0 && !data.is_empty() && self.rng.gen_bool(self.bit_flip) {
+            let byte = self.rng.gen_range(0..data.len());
+            let bit = self.rng.gen_range(0..8u8);
+            data[byte] ^= 1 << bit;
+            self.log.bit_flips += 1;
+            faults.push(WireFault::BitFlip { byte, bit });
+        }
+        if self.truncate > 0.0 && !data.is_empty() && self.rng.gen_bool(self.truncate) {
+            let keep = self.rng.gen_range(0..data.len());
+            data.truncate(keep);
+            self.log.truncations += 1;
+            faults.push(WireFault::Truncate { keep });
+        }
+        let mut frames = vec![data];
+        if self.duplicate > 0.0 && self.rng.gen_bool(self.duplicate) {
+            frames.push(frames[0].clone());
+            self.log.duplicates += 1;
+            faults.push(WireFault::Duplicate);
+        }
+        let mut delay_ms = 0;
+        if self.delay > 0.0 && self.rng.gen_bool(self.delay) {
+            delay_ms = self.delay_ms;
+            self.log.delays += 1;
+            faults.push(WireFault::Delay { ms: delay_ms });
+        }
+        WireDelivery {
+            frames,
+            delay_ms,
+            faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_a_pass_through() {
+        let mut injector = WireInjector::new(&FaultPlan::none().with_seed(3));
+        for len in [0usize, 1, 7, 256] {
+            let frame: Vec<u8> = (0..len as u8).collect();
+            let delivery = injector.deliver(&frame);
+            assert!(delivery.is_clean());
+            assert_eq!(delivery.frames, vec![frame]);
+            assert_eq!(delivery.delay_ms, 0);
+        }
+        assert_eq!(injector.log().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_stream() {
+        let plan = FaultPlan::uniform_wire(0.5, 42);
+        let frames: Vec<Vec<u8>> = (0..32u8).map(|i| vec![i; 16]).collect();
+        let mut a = WireInjector::new(&plan);
+        let mut b = WireInjector::new(&plan);
+        for frame in &frames {
+            assert_eq!(a.deliver(frame), b.deliver(frame));
+        }
+        assert_eq!(a.log(), b.log());
+        assert!(a.log().total() > 0, "rate 0.5 over 32 frames must fire");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let frames: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 16]).collect();
+        let mut a = WireInjector::new(&FaultPlan::uniform_wire(0.5, 1));
+        let mut b = WireInjector::new(&FaultPlan::uniform_wire(0.5, 2));
+        let diverged = frames.iter().any(|f| a.deliver(f) != b.deliver(f));
+        assert!(diverged);
+    }
+
+    #[test]
+    fn log_counts_match_reported_faults() {
+        let mut injector = WireInjector::new(&FaultPlan::uniform_wire(0.25, 9));
+        let mut expected = WireFaultLog::default();
+        for i in 0..128u8 {
+            for fault in injector.deliver(&[i; 24]).faults {
+                match fault {
+                    WireFault::BitFlip { .. } => expected.bit_flips += 1,
+                    WireFault::Truncate { .. } => expected.truncations += 1,
+                    WireFault::Duplicate => expected.duplicates += 1,
+                    WireFault::Delay { .. } => expected.delays += 1,
+                }
+            }
+        }
+        assert_eq!(injector.log(), expected);
+        assert!(expected.total() > 0);
+    }
+
+    #[test]
+    fn empty_frames_survive_every_rate() {
+        // Flip and truncate need at least one byte; an empty frame must
+        // not panic or underflow the range.
+        let mut injector = WireInjector::new(&FaultPlan::uniform_wire(1.0, 5));
+        let delivery = injector.deliver(&[]);
+        assert!(delivery.frames.iter().all(|f| f.is_empty()));
+    }
+}

@@ -1,0 +1,107 @@
+//! Daemon-wide accounting: every frame the daemon rejects, every
+//! connection it sheds, every subscriber event it drops is counted here.
+//!
+//! The chaos gate in `tests/daemon_chaos.rs` holds the daemon to a
+//! conservation law: adversarial traffic may be rejected, shed or
+//! dropped, but it must always be *accounted* — nothing disappears
+//! silently, and well-behaved tenants lose nothing at all.
+
+use std::collections::BTreeMap;
+
+use crate::frame::RejectReason;
+
+/// Monotonic counters for one daemon run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted by the listener.
+    pub connections: u64,
+    /// Connections closed by the idle watchdog.
+    pub idle_reaped: u64,
+    /// Well-formed frames decoded across all connections.
+    pub frames_ok: u64,
+    /// Batches accepted into tenant pipelines.
+    pub batches_accepted: u64,
+    /// Rows applied by tenant pipelines.
+    pub rows_accepted: u64,
+    /// `Busy` replies sent (load shed under backpressure).
+    pub busy_shed: u64,
+    /// Tenant shards lost to panics (each one reaped and attributed).
+    pub tenant_panics: u64,
+    /// Incident frames published to the subscriber hub.
+    pub incidents_published: u64,
+    /// Incident frames enqueued across all subscriber buffers.
+    pub subscriber_queued: u64,
+    /// Incident frames evicted from slow subscribers' bounded buffers.
+    pub subscriber_dropped: u64,
+    /// Rejected frames/byte-runs by [`RejectReason`] name.
+    pub rejects: BTreeMap<&'static str, u64>,
+}
+
+impl ServeStats {
+    /// Counts one rejection.
+    pub fn record_reject(&mut self, reason: RejectReason) {
+        *self.rejects.entry(reason.as_str()).or_insert(0) += 1;
+    }
+
+    /// Total rejections across all reasons.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejects.values().sum()
+    }
+
+    /// Renders the counters as sorted `serve.<name>=<value>` lines —
+    /// the daemon's exit report, grep-friendly for the CI smoke job.
+    pub fn to_kv_lines(&self) -> String {
+        let mut out = String::new();
+        let scalars: [(&str, u64); 10] = [
+            ("connections", self.connections),
+            ("idle_reaped", self.idle_reaped),
+            ("frames_ok", self.frames_ok),
+            ("batches_accepted", self.batches_accepted),
+            ("rows_accepted", self.rows_accepted),
+            ("busy_shed", self.busy_shed),
+            ("tenant_panics", self.tenant_panics),
+            ("incidents_published", self.incidents_published),
+            ("subscriber_queued", self.subscriber_queued),
+            ("subscriber_dropped", self.subscriber_dropped),
+        ];
+        for (name, value) in scalars {
+            out.push_str(&format!("serve.{name}={value}\n"));
+        }
+        out.push_str(&format!("serve.rejected_total={}\n", self.rejected_total()));
+        for (reason, count) in &self.rejects {
+            out.push_str(&format!("serve.reject.{reason}={count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_accounting_sums_by_reason() {
+        let mut s = ServeStats::default();
+        s.record_reject(RejectReason::BadMagic);
+        s.record_reject(RejectReason::BadMagic);
+        s.record_reject(RejectReason::Truncated);
+        assert_eq!(s.rejected_total(), 3);
+        assert_eq!(s.rejects.get("bad-magic"), Some(&2));
+        assert_eq!(s.rejects.get("truncated"), Some(&1));
+    }
+
+    #[test]
+    fn kv_lines_are_stable_and_complete() {
+        let mut s = ServeStats {
+            connections: 4,
+            busy_shed: 2,
+            ..ServeStats::default()
+        };
+        s.record_reject(RejectReason::Oversize);
+        let text = s.to_kv_lines();
+        assert!(text.contains("serve.connections=4\n"));
+        assert!(text.contains("serve.busy_shed=2\n"));
+        assert!(text.contains("serve.rejected_total=1\n"));
+        assert!(text.contains("serve.reject.oversize=1\n"));
+    }
+}

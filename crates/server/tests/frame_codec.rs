@@ -1,0 +1,223 @@
+//! Property and corpus tests for the `hydra-serve-v1` frame codec.
+//!
+//! The codec's contract: `decode ∘ encode` is the identity on every
+//! representable frame, decoding is invariant under arbitrary chunking
+//! of the byte stream, and the decoder **never panics** — not on fuzz
+//! soup, not on adversarially corrupted frames, not on truncation. The
+//! `corpus/` directory pins known-nasty byte sequences (hex-encoded) so
+//! regressions in resynchronization are caught byte-for-byte.
+
+use std::path::PathBuf;
+
+use hydra_server::frame::{DecodeEvent, Decoder, Frame, RejectReason};
+use proptest::prelude::*;
+
+const TENANT_CHARS: &[char] = &['a', 'b', 'z', 'A', 'Z', '0', '9', '-', '_'];
+
+const LINE_FRAGMENTS: &[&str] = &[
+    "{\"schema\":\"x\"}",
+    "plain",
+    "with space",
+    "uni→code",
+    "\\\"quoted\\\"",
+    "",
+];
+
+fn arb_tenant() -> BoxedStrategy<String> {
+    prop::collection::vec(prop::sample::select(TENANT_CHARS.to_vec()), 1..16)
+        .prop_map(|chars| chars.into_iter().collect())
+        .boxed()
+}
+
+fn arb_frame() -> BoxedStrategy<Frame> {
+    prop_oneof![
+        2 => arb_tenant().prop_map(|tenant| Frame::Hello { tenant }),
+        4 => (0u64..u64::MAX, prop::collection::vec(0u64..u64::MAX, 0..64))
+            .prop_map(|(seq, rows)| Frame::Batch { seq, rows }),
+        1 => Just(Frame::Subscribe),
+        2 => (0u64..u64::MAX, 0u32..u32::MAX)
+            .prop_map(|(seq, accepted)| Frame::Ack { seq, accepted }),
+        1 => (0u32..60_000).prop_map(|retry_after_ms| Frame::Busy { retry_after_ms }),
+        1 => prop::sample::select(RejectReason::ALL.to_vec())
+            .prop_map(|reason| Frame::Reject { reason }),
+        2 => (arb_tenant(), prop::sample::select(LINE_FRAGMENTS.to_vec()))
+            .prop_map(|(tenant, line)| Frame::Incident {
+                tenant,
+                line: line.to_string(),
+            }),
+        1 => Just(Frame::Crash),
+        1 => Just(Frame::Drain),
+    ]
+    .boxed()
+}
+
+/// Decodes everything in one shot, including end-of-stream accounting.
+fn decode_all(bytes: &[u8]) -> Vec<DecodeEvent> {
+    let mut decoder = Decoder::new();
+    decoder.push(bytes);
+    let mut events = Vec::new();
+    while let Some(event) = decoder.next_event() {
+        events.push(event);
+    }
+    if let Some(event) = decoder.finish() {
+        events.push(event);
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_then_decode_is_identity(frame in arb_frame()) {
+        let events = decode_all(&frame.encode());
+        prop_assert_eq!(events, vec![DecodeEvent::Frame(frame)]);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_byte_soup(
+        soup in prop::collection::vec(0u32..256, 0..512).prop_map(
+            |v| v.into_iter().map(|b| b as u8).collect::<Vec<u8>>()
+        ),
+    ) {
+        // The assertion is completing without panic; additionally every
+        // rejected run must account at least one byte so decoding makes
+        // progress and terminates.
+        for event in decode_all(&soup) {
+            if let DecodeEvent::Rejected { skipped, .. } = event {
+                prop_assert!(skipped > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn decoding_is_invariant_under_chunking(
+        frames in prop::collection::vec(arb_frame(), 1..5),
+        chunk in 1usize..9,
+    ) {
+        let bytes: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+        let whole = decode_all(&bytes);
+        let mut decoder = Decoder::new();
+        let mut chunked = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            decoder.push(piece);
+            while let Some(event) = decoder.next_event() {
+                chunked.push(event);
+            }
+        }
+        if let Some(event) = decoder.finish() {
+            chunked.push(event);
+        }
+        prop_assert_eq!(whole.clone(), chunked);
+        // And an uncorrupted multi-frame stream decodes losslessly.
+        let expected: Vec<DecodeEvent> =
+            frames.into_iter().map(DecodeEvent::Frame).collect();
+        prop_assert_eq!(whole, expected);
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_panics_and_never_misdecodes_silently(
+        frame in arb_frame(),
+        pos_seed in 0usize..4096,
+        flip in 1u32..256,
+    ) {
+        let mut bytes = frame.encode();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip as u8;
+        for event in decode_all(&bytes) {
+            if let DecodeEvent::Frame(decoded) = event {
+                // The checksum covers version, kind and payload, so the
+                // only way a Frame event survives a bit flip is an FNV
+                // collision — which the deterministic generator never
+                // produces. A decoded frame must therefore be the
+                // original, never a silently morphed variant.
+                prop_assert_eq!(decoded, frame.clone());
+            }
+        }
+    }
+}
+
+fn corpus(name: &str) -> Vec<u8> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(format!("{name}.hex"));
+    let hex =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let hex = hex.trim();
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("valid hex fixture"))
+        .collect()
+}
+
+fn reasons(events: &[DecodeEvent]) -> Vec<RejectReason> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            DecodeEvent::Rejected { reason, .. } => Some(*reason),
+            DecodeEvent::Frame(_) => None,
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_valid_frames_decode() {
+    let hello = decode_all(&corpus("valid_hello"));
+    assert!(matches!(
+        hello.as_slice(),
+        [DecodeEvent::Frame(Frame::Hello { tenant })] if tenant == "tenant-0"
+    ));
+    let batch = decode_all(&corpus("valid_batch"));
+    assert!(matches!(
+        batch.as_slice(),
+        [DecodeEvent::Frame(Frame::Batch { seq: 3, rows })] if rows == &[1, 2, u64::MAX]
+    ));
+}
+
+#[test]
+fn corpus_malformed_inputs_are_classified() {
+    let cases: [(&str, RejectReason); 6] = [
+        ("bad_magic_junk", RejectReason::BadMagic),
+        ("bad_version", RejectReason::BadVersion),
+        ("bad_kind", RejectReason::BadKind),
+        ("oversize_len", RejectReason::Oversize),
+        ("bad_checksum", RejectReason::BadChecksum),
+        ("payload_soup", RejectReason::BadPayload),
+    ];
+    for (name, expected) in cases {
+        let got = reasons(&decode_all(&corpus(name)));
+        assert!(
+            got.contains(&expected),
+            "{name}: expected {expected:?} among {got:?}"
+        );
+    }
+}
+
+#[test]
+fn corpus_truncated_tail_is_accounted_at_finish() {
+    let events = decode_all(&corpus("truncated_tail"));
+    assert_eq!(reasons(&events), vec![RejectReason::Truncated]);
+}
+
+#[test]
+fn corpus_empty_input_produces_nothing() {
+    assert!(decode_all(&corpus("empty")).is_empty());
+}
+
+#[test]
+fn corpus_interleaved_stream_recovers_both_valid_frames() {
+    let events = decode_all(&corpus("interleaved"));
+    let frames: Vec<&Frame> = events
+        .iter()
+        .filter_map(|e| match e {
+            DecodeEvent::Frame(f) => Some(f),
+            DecodeEvent::Rejected { .. } => None,
+        })
+        .collect();
+    assert_eq!(frames.len(), 2, "events: {events:?}");
+    assert!(matches!(frames[0], Frame::Hello { tenant } if tenant == "a"));
+    assert!(matches!(frames[1], Frame::Batch { seq: 9, rows } if rows == &[5]));
+    let got = reasons(&events);
+    assert!(got.contains(&RejectReason::BadMagic));
+    assert!(got.contains(&RejectReason::BadChecksum));
+}

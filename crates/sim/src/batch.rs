@@ -15,6 +15,7 @@
 //! keeps the ordinary panic-is-a-bug discipline, and the harness converts
 //! panics into structured [`JobStatus`] values at the boundary.
 
+use hydra_types::Deadline;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fs;
@@ -312,6 +313,12 @@ impl BatchRunner {
     /// the receiver end is dropped, so a late completion dies quietly in
     /// its failed `send`.
     fn run_attempt<J: BatchJob>(&self, job: &Arc<J>, attempt: u32) -> Attempt<J::Output> {
+        // Arm the watchdog before spawning so thread-creation time counts
+        // against the budget: the shared `Deadline` (also used by the
+        // daemon's connection watchdog) anchors once and saturates, with
+        // an inclusive boundary — a budget that has exactly elapsed is
+        // expired.
+        let deadline = Deadline::after(self.config.watchdog);
         let (tx, rx) = mpsc::channel();
         let worker = Arc::clone(job);
         let spawned = thread::Builder::new()
@@ -324,7 +331,7 @@ impl BatchRunner {
             Ok(handle) => handle,
             Err(e) => return Attempt::Err(format!("failed to spawn worker thread: {e}")),
         };
-        match rx.recv_timeout(self.config.watchdog) {
+        match rx.recv_timeout(deadline.remaining()) {
             Ok(result) => {
                 // The worker has sent, so it is past its job; reap it.
                 let _ = handle.join();

@@ -1,0 +1,133 @@
+//! A bounded FIFO with drop accounting — the primitive behind every
+//! "never grow without bound" buffer in the workspace.
+//!
+//! [`crate::sink::RingBufferSink`] uses it for flight-recorder traces,
+//! and the service daemon (`hydra-server`) uses it for per-subscriber
+//! outgoing queues: a slow subscriber loses the *oldest* queued items
+//! (flight-recorder semantics — the freshest incidents are the ones an
+//! operator wants) and every loss is counted, so "how much did we shed"
+//! is always answerable from telemetry.
+
+use std::collections::VecDeque;
+
+/// A FIFO that holds at most `capacity` items, evicting the oldest on
+/// overflow and counting both totals.
+///
+/// Invariant (tested): `pushed() == len() + popped + dropped()`.
+#[derive(Debug, Clone)]
+pub struct BoundedBuf<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    pushed: u64,
+    dropped: u64,
+}
+
+impl<T> BoundedBuf<T> {
+    /// A buffer holding at most `capacity` items (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedBuf {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            pushed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `item`, evicting and returning the oldest item when full.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        self.pushed += 1;
+        let evicted = if self.buf.len() == self.capacity {
+            self.dropped += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(item);
+        evicted
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Items currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Drains all retained items, oldest first.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Items currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum retained items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total items ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Items evicted to make room (drop accounting).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_and_accounts() {
+        let mut b = BoundedBuf::new(3);
+        assert_eq!(b.push(1), None);
+        assert_eq!(b.push(2), None);
+        assert_eq!(b.push(3), None);
+        assert_eq!(b.push(4), Some(1), "oldest evicted first");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.pushed(), 4);
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.drain(), vec![2, 3, 4]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut b = BoundedBuf::new(0);
+        assert_eq!(b.capacity(), 1);
+        assert_eq!(b.push('a'), None);
+        assert_eq!(b.push('b'), Some('a'));
+    }
+
+    #[test]
+    fn pop_interleaves_with_push() {
+        let mut b = BoundedBuf::new(2);
+        b.push(1);
+        assert_eq!(b.pop(), Some(1));
+        assert_eq!(b.pop(), None);
+        let mut popped = 0u64;
+        for i in 0..100 {
+            b.push(i);
+            if i % 3 == 0 && b.pop().is_some() {
+                popped += 1;
+            }
+        }
+        assert_eq!(b.pushed(), 101);
+        assert_eq!(b.pushed(), b.len() as u64 + popped + b.dropped() + 1);
+    }
+}

@@ -44,11 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounded;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 
+pub use bounded::BoundedBuf;
 pub use event::{CtrlQueue, EventKind, TelemetryEvent};
 pub use metrics::{MetricValue, MetricsRegistry, MetricsRow};
 pub use sink::{

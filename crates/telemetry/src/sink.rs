@@ -6,8 +6,8 @@
 //! eliminates the event construction too (proven semantics-identical by the
 //! probe-identity proptest in `hydra-core`).
 
+use crate::bounded::BoundedBuf;
 use crate::event::{EventKind, TelemetryEvent};
-use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// Schema identifier written in the self-describing header line of
@@ -74,24 +74,19 @@ pub struct TimedEvent {
 /// counts what it had to drop.
 ///
 /// Intended for flight-recorder use — attach it for a whole run, then
-/// inspect the tail when something interesting happened.
+/// inspect the tail when something interesting happened. The bounding and
+/// drop accounting live in [`BoundedBuf`], the same primitive backing the
+/// service daemon's per-subscriber queues.
 #[derive(Debug, Clone)]
 pub struct RingBufferSink {
-    buf: VecDeque<TimedEvent>,
-    capacity: usize,
-    emitted: u64,
-    dropped: u64,
+    buf: BoundedBuf<TimedEvent>,
 }
 
 impl RingBufferSink {
     /// Creates a ring holding at most `capacity` events (at least 1).
     pub fn new(capacity: usize) -> Self {
-        let capacity = capacity.max(1);
         RingBufferSink {
-            buf: VecDeque::with_capacity(capacity),
-            capacity,
-            emitted: 0,
-            dropped: 0,
+            buf: BoundedBuf::new(capacity),
         }
     }
 
@@ -112,28 +107,28 @@ impl RingBufferSink {
 
     /// Maximum number of retained events.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.buf.capacity()
     }
 
     /// Total events ever emitted into this sink.
     pub fn emitted(&self) -> u64 {
-        self.emitted
+        self.buf.pushed()
     }
 
     /// Events evicted to make room (drop accounting).
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.buf.dropped()
     }
 
     /// Drains and returns all retained events, oldest first.
     pub fn drain(&mut self) -> Vec<TimedEvent> {
-        self.buf.drain(..).collect()
+        self.buf.drain()
     }
 
     /// Renders the retained events as JSONL (one event per line).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.buf.len() * 48);
-        for te in &self.buf {
+        for te in self.buf.iter() {
             te.event.write_json(te.now, &mut out);
             out.push('\n');
         }
@@ -143,12 +138,7 @@ impl RingBufferSink {
 
 impl EventSink for RingBufferSink {
     fn emit(&mut self, now: u64, event: TelemetryEvent) {
-        if self.buf.len() == self.capacity {
-            self.buf.pop_front();
-            self.dropped += 1;
-        }
-        self.buf.push_back(TimedEvent { now, event });
-        self.emitted += 1;
+        self.buf.push(TimedEvent { now, event });
     }
 }
 

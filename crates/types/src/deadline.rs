@@ -1,0 +1,211 @@
+//! Monotonic deadlines and single-fire watchdogs.
+//!
+//! Several layers guard long-running work with a wall-clock budget: the
+//! batch harness (`hydra_sim::batch`) bounds each job attempt, and the
+//! service daemon (`hydra_server`) bounds idle connections. Both used to
+//! be easy places to re-derive "has the budget elapsed?" inline, with
+//! subtly different boundary semantics. This module is the single shared
+//! answer:
+//!
+//! * [`Deadline`] — an [`Instant`]-anchored budget with saturating
+//!   arithmetic. The boundary is **inclusive**: a deadline whose budget
+//!   has *exactly* elapsed is expired. Clocks that step backwards (never
+//!   the case for `Instant`, but cheap to be robust against) saturate to
+//!   "no time elapsed" rather than panicking.
+//! * [`Watchdog`] — a latching wrapper: [`Watchdog::poll_at`] returns
+//!   `true` exactly once per arming, no matter how often it is polled
+//!   after expiry, and [`Watchdog::feed_at`] re-arms it from a new
+//!   anchor (the idle-timeout pattern: feed on every byte of progress).
+//!
+//! Every query has an `_at(now)` variant taking an explicit [`Instant`]
+//! so boundary behaviour is testable without sleeping.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic wall-clock budget anchored at a start instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    start: Instant,
+    timeout: Duration,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline::starting_at(Instant::now(), timeout)
+    }
+
+    /// A deadline `timeout` after an explicit anchor (testable variant).
+    pub fn starting_at(start: Instant, timeout: Duration) -> Self {
+        Deadline { start, timeout }
+    }
+
+    /// The full budget this deadline was armed with.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The anchor instant.
+    pub fn start(&self) -> Instant {
+        self.start
+    }
+
+    /// Budget left at `now`, saturating at zero.
+    pub fn remaining_at(&self, now: Instant) -> Duration {
+        self.timeout
+            .saturating_sub(now.saturating_duration_since(self.start))
+    }
+
+    /// Budget left now, saturating at zero.
+    pub fn remaining(&self) -> Duration {
+        self.remaining_at(Instant::now())
+    }
+
+    /// True iff the budget has elapsed at `now`. The boundary is
+    /// inclusive: elapsed time *equal* to the budget is expired.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        now.saturating_duration_since(self.start) >= self.timeout
+    }
+
+    /// True iff the budget has elapsed now.
+    pub fn expired(&self) -> bool {
+        self.expired_at(Instant::now())
+    }
+}
+
+/// A latching idle watchdog over a [`Deadline`]: fires exactly once per
+/// arming, and re-arms on [`feed`](Watchdog::feed).
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    deadline: Deadline,
+    fired: bool,
+}
+
+impl Watchdog {
+    /// A watchdog armed now with the given budget.
+    pub fn new(timeout: Duration) -> Self {
+        Watchdog::starting_at(Instant::now(), timeout)
+    }
+
+    /// A watchdog armed at an explicit anchor (testable variant).
+    pub fn starting_at(start: Instant, timeout: Duration) -> Self {
+        Watchdog {
+            deadline: Deadline::starting_at(start, timeout),
+            fired: false,
+        }
+    }
+
+    /// The underlying deadline of the current arming.
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
+    }
+
+    /// Re-arms the watchdog from `now` (progress was observed).
+    pub fn feed_at(&mut self, now: Instant) {
+        self.deadline = Deadline::starting_at(now, self.deadline.timeout());
+        self.fired = false;
+    }
+
+    /// Re-arms the watchdog from the current instant.
+    pub fn feed(&mut self) {
+        self.feed_at(Instant::now());
+    }
+
+    /// True exactly once per arming, the first time it is polled at or
+    /// after the (inclusive) boundary. Later polls return `false` until
+    /// the watchdog is fed again.
+    pub fn poll_at(&mut self, now: Instant) -> bool {
+        if self.fired || !self.deadline.expired_at(now) {
+            return false;
+        }
+        self.fired = true;
+        true
+    }
+
+    /// [`poll_at`](Watchdog::poll_at) against the current instant.
+    pub fn poll(&mut self) -> bool {
+        self.poll_at(Instant::now())
+    }
+
+    /// True iff this arming has already fired.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_counts_down_and_saturates() {
+        let t0 = Instant::now();
+        let d = Deadline::starting_at(t0, Duration::from_millis(100));
+        assert_eq!(d.remaining_at(t0), Duration::from_millis(100));
+        assert_eq!(
+            d.remaining_at(t0 + Duration::from_millis(40)),
+            Duration::from_millis(60)
+        );
+        assert_eq!(
+            d.remaining_at(t0 + Duration::from_millis(100)),
+            Duration::ZERO
+        );
+        assert_eq!(d.remaining_at(t0 + Duration::from_secs(9)), Duration::ZERO);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        // Regression: a deadline *exactly* at the boundary is expired —
+        // an `elapsed > timeout` comparison would let a poll landing on
+        // the precise boundary through and stall the caller for another
+        // full tick.
+        let t0 = Instant::now();
+        let d = Deadline::starting_at(t0, Duration::from_secs(5));
+        assert!(!d.expired_at(t0 + Duration::from_millis(4_999)));
+        assert!(d.expired_at(t0 + Duration::from_secs(5)));
+        assert!(d.expired_at(t0 + Duration::from_secs(6)));
+    }
+
+    #[test]
+    fn zero_timeout_is_immediately_expired() {
+        let t0 = Instant::now();
+        let d = Deadline::starting_at(t0, Duration::ZERO);
+        assert!(d.expired_at(t0));
+        assert_eq!(d.remaining_at(t0), Duration::ZERO);
+    }
+
+    #[test]
+    fn watchdog_fires_exactly_once_at_the_boundary() {
+        // Regression for the satellite fix: polling exactly at the
+        // boundary fires once, and only once.
+        let t0 = Instant::now();
+        let boundary = t0 + Duration::from_secs(5);
+        let mut w = Watchdog::starting_at(t0, Duration::from_secs(5));
+        assert!(!w.poll_at(t0 + Duration::from_secs(4)));
+        assert!(w.poll_at(boundary), "first poll at the boundary fires");
+        assert!(!w.poll_at(boundary), "same-instant re-poll is latched");
+        assert!(!w.poll_at(boundary + Duration::from_secs(1)));
+        assert!(w.has_fired());
+    }
+
+    #[test]
+    fn feeding_rearms_the_watchdog() {
+        let t0 = Instant::now();
+        let mut w = Watchdog::starting_at(t0, Duration::from_secs(5));
+        assert!(w.poll_at(t0 + Duration::from_secs(5)));
+        w.feed_at(t0 + Duration::from_secs(6));
+        assert!(!w.has_fired());
+        assert!(!w.poll_at(t0 + Duration::from_secs(10)));
+        assert!(w.poll_at(t0 + Duration::from_secs(11)), "new boundary");
+        assert!(!w.poll_at(t0 + Duration::from_secs(12)), "latched again");
+    }
+
+    #[test]
+    fn feeding_before_expiry_postpones_the_boundary() {
+        let t0 = Instant::now();
+        let mut w = Watchdog::starting_at(t0, Duration::from_secs(5));
+        w.feed_at(t0 + Duration::from_secs(3));
+        assert!(!w.poll_at(t0 + Duration::from_secs(7)));
+        assert!(w.poll_at(t0 + Duration::from_secs(8)));
+    }
+}

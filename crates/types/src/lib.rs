@@ -7,6 +7,8 @@
 //! * [`addr::RowAddr`] / [`addr::LineAddr`] — typed DRAM row and cache-line
 //!   addresses.
 //! * [`clock`] — cycle bookkeeping and ns ↔ cycle conversion.
+//! * [`deadline`] — monotonic wall-clock deadlines and single-fire
+//!   watchdogs, shared by the batch harness and the service daemon.
 //! * [`tracker::ActivationTracker`] — the interface between a memory
 //!   controller and any Row-Hammer activation tracker (Hydra, Graphene, CRA,
 //!   PARA, OCPR, …). The controller reports every row activation; the tracker
@@ -31,6 +33,7 @@
 
 pub mod addr;
 pub mod clock;
+pub mod deadline;
 pub mod error;
 pub mod geometry;
 pub mod mitigation;
@@ -38,6 +41,7 @@ pub mod tracker;
 
 pub use addr::{LineAddr, RowAddr};
 pub use clock::{Clock, MemCycle, NANOS_PER_SEC};
+pub use deadline::{Deadline, Watchdog};
 pub use error::ConfigError;
 pub use geometry::MemGeometry;
 pub use mitigation::{BlastRadius, MitigationPolicy, MitigationRequest};

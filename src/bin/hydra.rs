@@ -14,6 +14,9 @@
 //! hydra trace PATTERN [ACTS] [flags]    # JSONL telemetry event stream to stdout
 //! hydra forensics FILE [--t-h N]        # classify a recorded trace, emit incidents
 //! hydra sweep [--smoke] [--jobs N]      # design-space sweep → hydra-sweep-v1 JSONL
+//! hydra serve --socket PATH [flags]     # multi-tenant activation daemon
+//! hydra load --socket PATH [--smoke]    # adversarial load mix against a daemon
+//! hydra replay-session FILE             # byte-identical session replay check
 //! ```
 
 use hydra_repro::analysis::faults::{run_case, FaultCaseReport, FaultCaseSpec};
@@ -27,6 +30,7 @@ use hydra_repro::forensics::{
     compare_reports, incidents_to_jsonl, parse_bench_report, parse_trace_meta, replay_trace,
     CompareConfig, ForensicsProbe, BENCH_SCHEMA_VERSION,
 };
+use hydra_repro::server::{replay_check, run_load, LoadConfig, ServeConfig};
 use hydra_repro::sim::batch::{BatchConfig, BatchJob, BatchRunner, JobStatus};
 use hydra_repro::sim::{run_windowed, ActivationSim, WindowSeries};
 use hydra_repro::telemetry::json::escape_into;
@@ -53,9 +57,12 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("forensics") => cmd_forensics(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
+        Some("replay-session") => cmd_replay_session(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace|forensics|sweep> [args]"
+                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace|forensics|sweep|serve|load|replay-session> [args]"
             );
             eprintln!("  storage                      print the paper's storage tables");
             eprintln!("  list                         list the 36 registered workloads");
@@ -89,6 +96,15 @@ fn main() -> ExitCode {
             eprintln!("        [--t-rh N1,..] [--acts N] [--seed S]");
             eprintln!(
                 "                               parallel design-space sweep → JSONL + Pareto"
+            );
+            eprintln!("  serve --socket PATH [--geometry G] [--t-rh N] [--max-tenants N]");
+            eprintln!("        [--idle-timeout-ms MS] [--record FILE] [--allow-crash-frames]");
+            eprintln!("                               run the activation daemon until drained");
+            eprintln!("  load --socket PATH [--smoke] [--tenants N] [--batches N] [--rows N]");
+            eprintln!("        [--fault-rate F] [--seed S] [--no-drain]");
+            eprintln!("                               adversarial load mix; kv report on stdout");
+            eprintln!(
+                "  replay-session <file>        re-run a recorded session; nonzero on divergence"
             );
             return ExitCode::from(2);
         }
@@ -961,6 +977,172 @@ fn cmd_forensics(args: &[String]) -> Result<(), String> {
         verdict.windows,
         verdict.max_confidence,
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut geometry = "tiny".to_string();
+    let mut t_rh: u32 = 64;
+    let mut max_tenants: Option<usize> = None;
+    let mut idle_timeout_ms: Option<u64> = None;
+    let mut record: Option<PathBuf> = None;
+    let mut allow_crash_frames = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--geometry" => geometry = value("--geometry")?,
+            "--t-rh" => t_rh = value("--t-rh")?.parse().map_err(|_| "bad --t-rh")?,
+            "--max-tenants" => {
+                max_tenants = Some(
+                    value("--max-tenants")?
+                        .parse()
+                        .map_err(|_| "bad --max-tenants")?,
+                );
+            }
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = Some(
+                    value("--idle-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "bad --idle-timeout-ms")?,
+                );
+            }
+            "--record" => record = Some(PathBuf::from(value("--record")?)),
+            "--allow-crash-frames" => allow_crash_frames = true,
+            other => return Err(format!("unknown serve flag {other}")),
+        }
+        i += 1;
+    }
+    let socket = socket.ok_or("serve needs --socket PATH")?;
+
+    let mut config = ServeConfig::new(&socket, &geometry, t_rh)
+        .ok_or_else(|| format!("unknown geometry {geometry} (tiny or isca22)"))?;
+    if let Some(n) = max_tenants {
+        if n == 0 {
+            return Err("--max-tenants must be at least 1".into());
+        }
+        config.max_tenants = n;
+    }
+    if let Some(ms) = idle_timeout_ms {
+        config.idle_timeout = Duration::from_millis(ms);
+    }
+    config.allow_crash_frames = allow_crash_frames;
+    config.record = record.is_some();
+
+    eprintln!(
+        "serve: listening on {} (geometry {geometry}, t_rh {t_rh}); send a Drain frame to stop",
+        socket.display()
+    );
+    // Runs until a client drains it; the kv report is the exit record the
+    // CI smoke job greps.
+    let handle = hydra_repro::server::spawn(config).map_err(|e| e.to_string())?;
+    let report = handle.join()?;
+    print!("{}", report.to_kv_lines());
+    if let Some(path) = record {
+        let session = report
+            .session
+            .as_ref()
+            .ok_or("daemon produced no session despite --record")?;
+        std::fs::write(&path, session.to_text()).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("serve: recorded session → {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut tenants: Option<usize> = None;
+    let mut batches: Option<u64> = None;
+    let mut rows: Option<usize> = None;
+    let mut fault_rate: Option<f64> = None;
+    let mut seed: Option<u64> = None;
+    let mut no_drain = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--smoke" => smoke = true,
+            "--tenants" => {
+                tenants = Some(value("--tenants")?.parse().map_err(|_| "bad --tenants")?);
+            }
+            "--batches" => {
+                batches = Some(value("--batches")?.parse().map_err(|_| "bad --batches")?);
+            }
+            "--rows" => rows = Some(value("--rows")?.parse().map_err(|_| "bad --rows")?),
+            "--fault-rate" => {
+                fault_rate = Some(
+                    value("--fault-rate")?
+                        .parse()
+                        .map_err(|_| "bad --fault-rate")?,
+                );
+            }
+            "--seed" => seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
+            "--no-drain" => no_drain = true,
+            other => return Err(format!("unknown load flag {other}")),
+        }
+        i += 1;
+    }
+    let socket = socket.ok_or("load needs --socket PATH")?;
+    // --smoke pins the CI mix (same idiom as `hydra sweep --smoke`).
+    if smoke
+        && (tenants.is_some()
+            || batches.is_some()
+            || rows.is_some()
+            || fault_rate.is_some()
+            || seed.is_some()
+            || no_drain)
+    {
+        return Err("--smoke pins the mix; drop it to customize".into());
+    }
+
+    let mut config = LoadConfig::smoke(&socket);
+    if let Some(n) = tenants {
+        config.tenants = n;
+    }
+    if let Some(n) = batches {
+        config.batches_per_tenant = n;
+    }
+    if let Some(n) = rows {
+        config.rows_per_batch = n;
+    }
+    if let Some(f) = fault_rate {
+        config.fault_rate = f;
+    }
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    if no_drain {
+        config.drain = false;
+    }
+
+    let report = run_load(&config)?;
+    print!("{}", report.to_kv_lines());
+    Ok(())
+}
+
+fn cmd_replay_session(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("replay-session needs a session file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    replay_check(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("replay-session: {path}: byte-identical");
     Ok(())
 }
 

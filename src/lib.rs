@@ -11,6 +11,8 @@
 //! * [`engine`] — worker pool, sharded multi-channel simulation, design-space sweeps
 //! * [`faults`] — deterministic fault injection around the tracker
 //! * [`forensics`] — attack attribution, window classification, incident reports
+//! * [`server`] — Hydra-as-a-service: multi-tenant activation daemon over
+//!   Unix sockets, adversarial load client, session record/replay
 //! * [`sim`] — memory controller, LLC, core model, system simulator, batch harness
 //! * [`telemetry`] — event tracing seam, metric time-series, JSONL/CSV export
 //! * [`workloads`] — synthetic workload and attack-pattern generators
@@ -24,6 +26,7 @@ pub use hydra_dram as dram;
 pub use hydra_engine as engine;
 pub use hydra_faults as faults;
 pub use hydra_forensics as forensics;
+pub use hydra_server as server;
 pub use hydra_sim as sim;
 pub use hydra_telemetry as telemetry;
 pub use hydra_types as types;
