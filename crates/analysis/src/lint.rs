@@ -109,7 +109,7 @@ pub struct RuleInfo {
 /// otherwise), and `hydra-verify self-test` proves every entry fires on a
 /// known-bad snippet — so this table, the implementation, and the DESIGN.md
 /// catalog cannot drift apart silently.
-pub const RULES: [RuleInfo; 10] = [
+pub const RULES: [RuleInfo; 11] = [
     RuleInfo {
         id: "forbid-unsafe",
         severity: Severity::Error,
@@ -157,6 +157,13 @@ pub const RULES: [RuleInfo; 10] = [
         severity: Severity::Error,
         summary: "each schema literal is spelled out only in its defining file",
         fix_hint: "import the *_SCHEMA_VERSION constant instead of repeating the literal",
+    },
+    RuleInfo {
+        id: "metric-names-single-source",
+        severity: Severity::Error,
+        summary: "each metric name is spelled out only in crates/server/src/stats.rs",
+        fix_hint: "import the constant from hydra_server::stats::names instead of \
+                   repeating the metric name",
     },
     RuleInfo {
         id: "counter-arithmetic",
@@ -275,7 +282,7 @@ fn json_str(s: &str) -> String {
 /// (literal, constant to import, workspace-relative defining file). The
 /// defining file is the only library source allowed to spell the literal
 /// out; this table (and the engine source carrying it) is exempt.
-pub const SCHEMA_LITERALS: [(&str, &str, &str); 5] = [
+pub const SCHEMA_LITERALS: [(&str, &str, &str); 7] = [
     (
         "hydra-trace-v1",
         "hydra_telemetry::TRACE_SCHEMA_VERSION",
@@ -292,6 +299,11 @@ pub const SCHEMA_LITERALS: [(&str, &str, &str); 5] = [
         "crates/forensics/src/report.rs",
     ),
     (
+        "hydra-bench-v2",
+        "hydra_forensics::BENCH_SCHEMA_VERSION_V2",
+        "crates/forensics/src/report.rs",
+    ),
+    (
         "hydra-sweep-v1",
         "hydra_engine::SWEEP_SCHEMA_VERSION",
         "crates/engine/src/sweep.rs",
@@ -301,7 +313,32 @@ pub const SCHEMA_LITERALS: [(&str, &str, &str); 5] = [
         "hydra_server::SERVE_SCHEMA_VERSION",
         "crates/server/src/frame.rs",
     ),
+    (
+        "hydra-serve-stats-v1",
+        "hydra_server::SERVE_STATS_SCHEMA_VERSION",
+        "crates/server/src/stats.rs",
+    ),
 ];
+
+/// The metric-name literals governed by `metric-names-single-source`:
+/// the wire-stable histogram/gauge keys of the `hydra-serve-stats-v1`
+/// payload. [`METRIC_NAMES_DEFINING`] (the `stats::names` module) is the
+/// only library source allowed to spell them out; every other call site
+/// imports the constants, so a renamed metric cannot silently fork the
+/// dashboard vocabulary.
+pub const METRIC_NAMES: [(&str, &str); 5] = [
+    ("ingest_us", "hydra_server::stats::names::INGEST_US"),
+    ("queue_wait_us", "hydra_server::stats::names::QUEUE_WAIT_US"),
+    (
+        "publish_lag_us",
+        "hydra_server::stats::names::PUBLISH_LAG_US",
+    ),
+    ("queue_depth", "hydra_server::stats::names::QUEUE_DEPTH"),
+    ("uptime_micros", "hydra_server::stats::names::UPTIME_MICROS"),
+];
+
+/// The one file allowed to spell out [`METRIC_NAMES`] literals.
+pub const METRIC_NAMES_DEFINING: &str = "crates/server/src/stats.rs";
 
 /// Identifiers the `counter-arithmetic` rule treats as activation counters.
 /// Deliberately *not* the diagnostic `stats` fields (u64 accounting that
@@ -772,6 +809,24 @@ impl<'s> ScannedFile<'s> {
                 }
             }
 
+            // metric-names-single-source: a stats metric name in a string
+            // outside the stats module (same shape as the schema check —
+            // doc comments, test modules and the registry exempt).
+            if !in_test && tok.kind == TokenKind::Str && !self.is_rule_registry() {
+                for (name, constant) in METRIC_NAMES {
+                    if text.contains(name) && self.rel != METRIC_NAMES_DEFINING {
+                        self.emit(
+                            findings,
+                            "metric-names-single-source",
+                            tok.line,
+                            format!(
+                                "metric name \"{name}\" is spelled out outside its defining file ({METRIC_NAMES_DEFINING}); import {constant} instead"
+                            ),
+                        );
+                    }
+                }
+            }
+
             // counter-arithmetic: hot-path crates only.
             if hot_path && !in_test {
                 self.check_counter_arithmetic(findings, i);
@@ -1137,7 +1192,7 @@ struct SelfTestCase {
 
 const FORBID: &str = "#![forbid(unsafe_code)]\n";
 
-const SELF_TEST_CASES: [SelfTestCase; 10] = [
+const SELF_TEST_CASES: [SelfTestCase; 11] = [
     SelfTestCase {
         rule: "forbid-unsafe",
         files: &[("src/lib.rs", "pub fn f() {}\n")],
@@ -1189,6 +1244,13 @@ const SELF_TEST_CASES: [SelfTestCase; 10] = [
         files: &[(
             "src/lib.rs",
             "#![forbid(unsafe_code)]\npub const V: &str = \"hydra-trace-v1\";\n",
+        )],
+    },
+    SelfTestCase {
+        rule: "metric-names-single-source",
+        files: &[(
+            "src/lib.rs",
+            "#![forbid(unsafe_code)]\npub const K: &str = \"queue_wait_us\";\n",
         )],
     },
     SelfTestCase {

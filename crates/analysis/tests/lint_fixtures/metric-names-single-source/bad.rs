@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn histogram_key() -> &'static str {
+    "ingest_us"
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+// Metric names belong to crates/server/src/stats.rs; everyone else
+// imports the constants from hydra_server::stats::names.
+pub fn histogram_key() -> &'static str {
+    "not-a-metric"
+}

@@ -46,8 +46,8 @@ pub use classify::{classify, AttackClass, Classification, ClassifierConfig, Wind
 pub use incident::{incidents_to_jsonl, Incident, INCIDENT_SCHEMA_VERSION};
 pub use probe::{ForensicsProbe, RunVerdict, WindowReport};
 pub use report::{
-    compare_reports, parse_bench_report, BenchComparison, BenchReportData, CompareConfig,
-    BENCH_SCHEMA_VERSION,
+    compare_reports, parse_bench_report, BenchCellData, BenchComparison, BenchReportData,
+    CompareConfig, BENCH_SCHEMA_VERSION, BENCH_SCHEMA_VERSION_V2, CV_GATE_SIGMAS,
 };
 pub use sketch::CountMinSketch;
 pub use trace::{parse_event_line, parse_trace_meta, replay_trace, ReplaySummary, TraceMeta};

@@ -1,8 +1,9 @@
 //! Bench-report regression comparison (`hydra bench --compare`).
 //!
-//! Parses two `hydra-bench-v1` reports (the JSON that `hydra bench` writes
-//! to `BENCH_hydra.json`), joins their cells by `workload/geometry`, and
-//! flags regressions beyond a tolerance:
+//! Parses two bench reports (the JSON that `hydra bench` writes to
+//! `BENCH_hydra.json` — `hydra-bench-v2`, or the older `hydra-bench-v1`
+//! without variance columns), joins their cells by `workload/geometry`,
+//! and flags regressions beyond a tolerance:
 //!
 //! - **slowdown**: the cell's simulated bandwidth inflation grew by ≥
 //!   `tolerance_pct` percent relative to the baseline — this is the
@@ -11,10 +12,13 @@
 //!   percent — also deterministic (same seeds), so it always gates;
 //! - **invariants**: a cell whose delta-sum check regressed from `true`
 //!   to `false` always gates;
-//! - **throughput** (`acts_per_sec`): wall-clock dependent, so it is
-//!   reported in the table but only gates under
-//!   [`CompareConfig::gate_throughput`] (off by default — CI machines are
-//!   not the machine that wrote the committed baseline).
+//! - **throughput** (`acts_per_sec`): wall-clock dependent, so it only
+//!   gates under [`CompareConfig::gate_throughput`], and even then the
+//!   tolerance is *variance-aware*: a drop gates only when it exceeds
+//!   both `tolerance_pct` and [`CV_GATE_SIGMAS`] × the larger measured
+//!   coefficient of variation of the two cells. A `--repeats`-measured
+//!   noisy cell therefore widens its own noise band instead of flapping
+//!   CI, while a tight cell keeps the flat tolerance.
 //!
 //! Cells present in one report but not the other are listed and gate: a
 //! silently vanished cell is how coverage regressions hide.
@@ -22,11 +26,23 @@
 use crate::json::{parse, JsonValue};
 use std::fmt::Write as _;
 
-/// Schema identifier of `hydra bench` reports.
+/// Schema identifier of legacy `hydra bench` reports (no variance columns).
 ///
 /// This is the single definition of the literal; the CLI imports it and
 /// `repo-lint` enforces that no other library source repeats it.
 pub const BENCH_SCHEMA_VERSION: &str = "hydra-bench-v1";
+
+/// Schema identifier of current `hydra bench` reports: v1 plus per-cell
+/// throughput variance (`repeats`, `acts_per_sec_stddev`,
+/// `acts_per_sec_cv_pct`) from `hydra bench --repeats N`.
+///
+/// Single definition of the literal, like [`BENCH_SCHEMA_VERSION`].
+pub const BENCH_SCHEMA_VERSION_V2: &str = "hydra-bench-v2";
+
+/// Throughput gating width in units of the measured coefficient of
+/// variation: a drop within `CV_GATE_SIGMAS × cv_pct` is treated as
+/// run-to-run noise even when it exceeds the flat tolerance.
+pub const CV_GATE_SIGMAS: f64 = 3.0;
 
 /// One parsed matrix cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +63,14 @@ pub struct BenchCellData {
     pub mitigations: u64,
     /// Whether the per-window delta-sum invariant held.
     pub delta_sum_ok: bool,
+    /// Timed runs behind the throughput figures (1 in v1 reports).
+    pub repeats: u64,
+    /// Population standard deviation of per-repeat `acts_per_sec`
+    /// (0 in v1 reports and single-repeat runs).
+    pub acts_per_sec_stddev: f64,
+    /// Coefficient of variation of throughput, percent
+    /// (`stddev / mean × 100`; 0 in v1 reports).
+    pub acts_per_sec_cv_pct: f64,
 }
 
 impl BenchCellData {
@@ -69,13 +93,15 @@ pub struct BenchReportData {
     pub failures: Vec<String>,
 }
 
-/// Parses a bench report, checking the schema stamp.
+/// Parses a bench report, checking the schema stamp. Accepts the current
+/// `hydra-bench-v2` format and the legacy v1 format (variance columns
+/// default to zero so every v2 consumer sees a well-formed cell).
 pub fn parse_bench_report(text: &str) -> Result<BenchReportData, String> {
     let v = parse(text)?;
     let schema = v.get("schema").and_then(JsonValue::as_str).unwrap_or("");
-    if schema != BENCH_SCHEMA_VERSION {
+    if schema != BENCH_SCHEMA_VERSION && schema != BENCH_SCHEMA_VERSION_V2 {
         return Err(format!(
-            "not a {BENCH_SCHEMA_VERSION} report (schema {schema:?})"
+            "not a {BENCH_SCHEMA_VERSION_V2} (or {BENCH_SCHEMA_VERSION}) report (schema {schema:?})"
         ));
     }
     let cells = v
@@ -135,6 +161,15 @@ fn parse_cell(v: &JsonValue) -> Result<BenchCellData, String> {
             .get("delta_sum_ok")
             .and_then(JsonValue::as_bool)
             .unwrap_or(false),
+        repeats: v.get("repeats").and_then(JsonValue::as_u64).unwrap_or(1),
+        acts_per_sec_stddev: v
+            .get("acts_per_sec_stddev")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0),
+        acts_per_sec_cv_pct: v
+            .get("acts_per_sec_cv_pct")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0),
     })
 }
 
@@ -203,8 +238,8 @@ impl BenchComparison {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}  verdict",
-            "cell", "slow_old%", "slow_new%", "drift%", "mit_old", "mit_new", "thru%"
+            "{:<24} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8} {:>6}  verdict",
+            "cell", "slow_old%", "slow_new%", "drift%", "mit_old", "mit_new", "thru%", "cv%"
         );
         for row in &self.rows {
             let verdict = if row.regressions.is_empty() {
@@ -214,7 +249,7 @@ impl BenchComparison {
             };
             let _ = writeln!(
                 out,
-                "{:<24} {:>10.3} {:>10.3} {:>8.2} {:>10} {:>10} {:>8.1}  {verdict}",
+                "{:<24} {:>10.3} {:>10.3} {:>8.2} {:>10} {:>10} {:>8.1} {:>6.2}  {verdict}",
                 row.key,
                 row.old.slowdown_pct,
                 row.new.slowdown_pct,
@@ -222,6 +257,7 @@ impl BenchComparison {
                 row.old.mitigations,
                 row.new.mitigations,
                 row.throughput_drift_pct,
+                row.old.acts_per_sec_cv_pct.max(row.new.acts_per_sec_cv_pct),
             );
         }
         for key in &self.missing_in_new {
@@ -296,8 +332,19 @@ pub fn compare_reports(
         if old_cell.delta_sum_ok && !new_cell.delta_sum_ok {
             regressions.push("delta-sum invariant broke".to_string());
         }
-        if config.gate_throughput && -throughput_drift_pct >= tol {
-            regressions.push(format!("throughput {throughput_drift_pct:.1}%"));
+        // Variance-aware throughput gate: the flat tolerance is widened to
+        // the measured noise band of the noisier cell, so a `--repeats`-
+        // characterized jittery cell cannot flap CI while a tight cell
+        // still gates at the flat tolerance.
+        let cv_band_pct = CV_GATE_SIGMAS
+            * old_cell
+                .acts_per_sec_cv_pct
+                .max(new_cell.acts_per_sec_cv_pct);
+        let throughput_tol = tol.max(cv_band_pct - 1e-9);
+        if config.gate_throughput && -throughput_drift_pct >= throughput_tol {
+            regressions.push(format!(
+                "throughput {throughput_drift_pct:.1}% (tolerance {throughput_tol:.1}%)"
+            ));
         }
         rows.push(CellDiff {
             key,
@@ -342,6 +389,9 @@ mod tests {
                     slowdown_pct: (inflation - 1.0) * 100.0,
                     mitigations,
                     delta_sum_ok: true,
+                    repeats: 1,
+                    acts_per_sec_stddev: 0.0,
+                    acts_per_sec_cv_pct: 0.0,
                 })
                 .collect(),
             failures: Vec::new(),
@@ -365,6 +415,27 @@ mod tests {
         assert_eq!(r.cells.len(), 1);
         assert_eq!(r.cells[0].key(), "gups/tiny");
         assert_eq!(r.cells[0].mitigations, 56);
+        // v1 reports default the variance columns to a zero-noise cell.
+        assert_eq!(r.cells[0].repeats, 1);
+        assert_eq!(r.cells[0].acts_per_sec_stddev, 0.0);
+        assert_eq!(r.cells[0].acts_per_sec_cv_pct, 0.0);
+    }
+
+    #[test]
+    fn parses_v2_variance_columns() {
+        let text = concat!(
+            "{\"schema\":\"hydra-bench-v2\",\"smoke\":true,\"acts_per_cell\":20000,",
+            "\"cells\":[{\"workload\":\"gups\",\"geometry\":\"tiny\",\"acts\":20000,",
+            "\"wall_secs\":0.005,\"acts_per_sec\":15000000.0,",
+            "\"acts_per_sec_stddev\":750000.0,\"acts_per_sec_cv_pct\":5.0,",
+            "\"repeats\":5,\"bandwidth_inflation\":1.014,\"slowdown_pct\":1.4,",
+            "\"windows\":14,\"mitigations\":56,\"delta_sum_ok\":true}],",
+            "\"failures\":[]}"
+        );
+        let r = parse_bench_report(text).expect("parses");
+        assert_eq!(r.cells[0].repeats, 5);
+        assert_eq!(r.cells[0].acts_per_sec_stddev, 750_000.0);
+        assert_eq!(r.cells[0].acts_per_sec_cv_pct, 5.0);
     }
 
     #[test]
@@ -425,6 +496,29 @@ mod tests {
             ..CompareConfig::default()
         };
         assert_eq!(compare_reports(&old, &slow, gated).regression_count(), 1);
+    }
+
+    #[test]
+    fn measured_cv_widens_the_throughput_tolerance() {
+        let gated = CompareConfig {
+            gate_throughput: true,
+            ..CompareConfig::default()
+        };
+        let old = report(&[("gups", 1.0, 0)]);
+        let mut noisy = report(&[("gups", 1.0, 0)]);
+        noisy.cells[0].acts_per_sec = 8.5e6; // −15%: beyond the flat 10%
+        noisy.cells[0].repeats = 5;
+        noisy.cells[0].acts_per_sec_cv_pct = 6.0; // 3σ band = 18% > 15%
+        assert_eq!(
+            compare_reports(&old, &noisy, gated).regression_count(),
+            0,
+            "a drop inside the measured 3σ noise band must not gate"
+        );
+        // The same drop with a tight measured CV still gates.
+        noisy.cells[0].acts_per_sec_cv_pct = 1.0; // 3σ band = 3% < 15%
+        let cmp = compare_reports(&old, &noisy, gated);
+        assert_eq!(cmp.regression_count(), 1);
+        assert!(cmp.rows[0].regressions[0].contains("tolerance"));
     }
 
     #[test]

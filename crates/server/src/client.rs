@@ -26,6 +26,7 @@ use hydra_types::{Deadline, RowAddr};
 
 use crate::frame::{DecodeEvent, Decoder, Frame};
 use crate::session::geometry_by_name;
+use crate::stats::StatsReading;
 use crate::tenant::TenantPipeline;
 
 /// How long [`Client::recv_event`] polls between reads.
@@ -254,6 +255,41 @@ impl Client {
             Frame::Reject { reason } => Err(format!("crash refused: {}", reason.as_str())),
             other => Err(format!("unexpected crash reply: {other:?}")),
         }
+    }
+
+    /// Requests a live stats snapshot and returns its raw JSON payload.
+    ///
+    /// Works on any connection: on a subscriber, incident frames that
+    /// arrive before the snapshot are simply skipped (the daemon routes
+    /// the reply through the subscriber queue, so ordering is FIFO but
+    /// interleaved with the feed).
+    ///
+    /// # Errors
+    ///
+    /// `Err` on I/O failure, timeout, or an explicit daemon rejection.
+    pub fn stats_json(&mut self) -> Result<String, String> {
+        self.send(&Frame::StatsRequest)
+            .map_err(|e| format!("send: {e}"))?;
+        let deadline = Deadline::after(self.reply_timeout);
+        loop {
+            match self.recv_event(deadline.remaining())? {
+                DecodeEvent::Frame(Frame::StatsSnapshot { json }) => return Ok(json),
+                DecodeEvent::Frame(Frame::Reject { reason }) => {
+                    self.rejects_seen += 1;
+                    return Err(format!("stats rejected: {}", reason.as_str()));
+                }
+                DecodeEvent::Frame(_) | DecodeEvent::Rejected { .. } => {}
+            }
+        }
+    }
+
+    /// Requests a live stats snapshot, parsed and schema-checked.
+    ///
+    /// # Errors
+    ///
+    /// As [`stats_json`](Self::stats_json), plus payload parse errors.
+    pub fn stats(&mut self) -> Result<StatsReading, String> {
+        StatsReading::parse(&self.stats_json()?)
     }
 
     /// Requests a graceful daemon drain.

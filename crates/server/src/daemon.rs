@@ -47,11 +47,11 @@ use std::time::Duration;
 use hydra_engine::protocol::{ProtocolVariant, Supervisor, WorkerMsg};
 use hydra_engine::CellOutcome;
 use hydra_telemetry::BoundedBuf;
-use hydra_types::{Deadline, MemGeometry, Watchdog};
+use hydra_types::{Deadline, MemGeometry, Stopwatch, Watchdog};
 
 use crate::frame::{valid_tenant_name, DecodeEvent, Decoder, Frame, RejectReason};
 use crate::session::{RecordedBatch, Session};
-use crate::stats::ServeStats;
+use crate::stats::{render_stats_json, MetricsSink, NoopMetrics, ServeMetrics, ServeStats};
 use crate::tenant::{TenantPipeline, TenantSummary};
 
 /// Daemon configuration.
@@ -83,6 +83,11 @@ pub struct ServeConfig {
     pub allow_crash_frames: bool,
     /// Record accepted batches and outputs for session replay.
     pub record: bool,
+    /// Enable the live metrics plane ([`ServeMetrics`]): latency
+    /// histograms and per-tenant counters served via `StatsRequest`.
+    /// Off by default — the bare daemon pays zero sampling cost, and
+    /// the chaos suite proves enabling it keeps outputs digest-identical.
+    pub metrics: bool,
 }
 
 impl ServeConfig {
@@ -102,6 +107,7 @@ impl ServeConfig {
             busy_retry_ms: 20,
             allow_crash_frames: false,
             record: false,
+            metrics: false,
         })
     }
 }
@@ -157,6 +163,9 @@ enum ShardMsg {
         seq: u64,
         rows: Vec<u64>,
         reply: SyncSender<Result<(u64, u32), RejectReason>>,
+        /// Queue-wait stamp; `None` when metrics are off (zero-cost seam:
+        /// the bare daemon never reads the clock here).
+        enqueued_at: Option<Stopwatch>,
     },
     Crash,
     Drain,
@@ -191,6 +200,19 @@ impl SubQueue {
         self.closed.store(true, Ordering::SeqCst);
         self.cv.notify_all();
     }
+
+    /// Enqueues one out-of-band frame (e.g. a `StatsSnapshot` reply) for
+    /// the owning writer thread. Non-blocking: bounded push + notify, so
+    /// routing a stats reply through here can never wedge anything.
+    fn push_frame(&self, bytes: Vec<u8>) {
+        if self.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(mut state) = self.state.lock() {
+            state.push(bytes);
+        }
+        self.cv.notify_one();
+    }
 }
 
 struct Hub {
@@ -198,18 +220,27 @@ struct Hub {
 }
 
 impl Hub {
-    fn publish(&self, bytes: &[u8]) {
+    /// Fans `bytes` out to every live subscriber queue. Returns the
+    /// `(enqueued, evicted)` deltas for this publish so the caller can
+    /// fold them into [`ServeStats`] *live* — mid-run snapshots see
+    /// subscriber accounting as it happens, not only at drain.
+    fn publish(&self, bytes: &[u8]) -> (u64, u64) {
+        let (mut enqueued, mut evicted) = (0, 0);
         if let Ok(subs) = self.subs.lock() {
             for sub in subs.iter() {
                 if sub.closed.load(Ordering::SeqCst) {
                     continue;
                 }
                 if let Ok(mut state) = sub.state.lock() {
-                    state.push(bytes.to_vec());
+                    if state.push(bytes.to_vec()).is_some() {
+                        evicted += 1;
+                    }
+                    enqueued += 1;
                 }
                 sub.cv.notify_one();
             }
         }
+        (enqueued, evicted)
     }
 
     fn register(&self, capacity: usize) -> Arc<SubQueue> {
@@ -236,12 +267,15 @@ impl Hub {
 struct Shared {
     config: ServeConfig,
     stats: Mutex<ServeStats>,
+    /// The metrics seam: [`ServeMetrics`] when enabled, [`NoopMetrics`]
+    /// otherwise. Never consulted for control flow.
+    metrics: Box<dyn MetricsSink>,
     tenants: Mutex<TenantTable>,
     supervisor: Mutex<Supervisor<()>>,
     hub: Hub,
     shutdown: AtomicBool,
     conn_joins: Mutex<Vec<JoinHandle<()>>>,
-    writer_joins: Mutex<Vec<JoinHandle<(u64, u64)>>>, // (queued, dropped)
+    writer_joins: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -249,6 +283,21 @@ impl Shared {
         if let Ok(mut stats) = self.stats.lock() {
             f(&mut stats);
         }
+    }
+
+    /// Builds the current `StatsSnapshot` payload: counters cloned and
+    /// `stats_served` bumped under one lock acquisition, latency plane
+    /// snapshotted from the metrics seam.
+    fn stats_snapshot_json(&self) -> String {
+        let stats = match self.stats.lock() {
+            Ok(mut stats) => {
+                let snap = stats.clone();
+                stats.stats_served += 1;
+                snap
+            }
+            Err(_) => ServeStats::default(),
+        };
+        render_stats_json(&stats, self.metrics.snapshot().as_ref())
     }
 }
 
@@ -310,9 +359,15 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<DaemonHandle> {
     let _ = std::fs::remove_file(&config.socket_path);
     let listener = UnixListener::bind(&config.socket_path)?;
     let max_tenants = config.max_tenants;
+    let metrics: Box<dyn MetricsSink> = if config.metrics {
+        Box::new(ServeMetrics::new())
+    } else {
+        Box::new(NoopMetrics)
+    };
     let shared = Arc::new(Shared {
         config,
         stats: Mutex::new(ServeStats::default()),
+        metrics,
         tenants: Mutex::new(TenantTable {
             entries: HashMap::new(),
             names: Vec::new(),
@@ -400,20 +455,17 @@ fn drain_and_report(shared: &Shared) -> ServeReport {
         }
     }
     summaries.sort_by(|a, b| a.tenant.cmp(&b.tenant));
-    // 3. Close the hub; writers flush their queues and report their
-    //    BoundedBuf accounting.
+    // 3. Close the hub and join the writers. Subscriber accounting is
+    //    folded into stats live at publish time (so mid-run snapshots
+    //    are consistent); joining here only guarantees the queues have
+    //    flushed before the report is assembled.
     shared.hub.close_all();
     let writer_joins = match shared.writer_joins.lock() {
         Ok(mut joins) => std::mem::take(&mut *joins),
         Err(_) => Vec::new(),
     };
     for handle in writer_joins {
-        if let Ok((queued, dropped)) = handle.join() {
-            shared.with_stats(|s| {
-                s.subscriber_queued += queued;
-                s.subscriber_dropped += dropped;
-            });
-        }
+        let _ = handle.join();
     }
     // 4. Assemble the report.
     let mut crashed = Vec::new();
@@ -569,33 +621,55 @@ fn shard_main(
     let mut record = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Batch { seq, rows, reply } => match pipeline.apply_batch(seq, &rows) {
-                Ok(outcome) => {
-                    if shared.config.record {
-                        record.push(RecordedBatch {
-                            tenant: tenant.clone(),
-                            seq,
-                            rows,
-                        });
-                    }
-                    shared.with_stats(|s| {
-                        s.batches_accepted += 1;
-                        s.rows_accepted += u64::from(outcome.accepted);
-                        s.incidents_published += outcome.new_incidents.len() as u64;
-                    });
-                    for line in &outcome.new_incidents {
-                        let frame = Frame::Incident {
-                            tenant: tenant.clone(),
-                            line: line.clone(),
-                        };
-                        shared.hub.publish(&frame.encode());
-                    }
-                    let _ = reply.send(Ok((seq, outcome.accepted)));
+            ShardMsg::Batch {
+                seq,
+                rows,
+                reply,
+                enqueued_at,
+            } => {
+                if let Some(stamp) = enqueued_at {
+                    shared.metrics.on_dequeue(&tenant, stamp.elapsed_micros());
                 }
-                Err(reason) => {
-                    let _ = reply.send(Err(reason));
+                match pipeline.apply_batch(seq, &rows) {
+                    Ok(outcome) => {
+                        if shared.config.record {
+                            record.push(RecordedBatch {
+                                tenant: tenant.clone(),
+                                seq,
+                                rows,
+                            });
+                        }
+                        // `incidents_published` is bumped *before* the hub
+                        // enqueues anything and `subscriber_queued` only as
+                        // queues actually accept, so `queued ≤ published`
+                        // holds at every mid-run snapshot.
+                        let incidents = outcome.new_incidents.len() as u64;
+                        shared.with_stats(|s| s.incidents_published += incidents);
+                        if incidents > 0 {
+                            shared.metrics.on_incidents(&tenant, incidents);
+                        }
+                        let produced_at = shared.metrics.is_enabled().then(Stopwatch::start);
+                        for line in &outcome.new_incidents {
+                            let frame = Frame::Incident {
+                                tenant: tenant.clone(),
+                                line: line.clone(),
+                            };
+                            let (enqueued, evicted) = shared.hub.publish(&frame.encode());
+                            shared.with_stats(|s| {
+                                s.subscriber_queued += enqueued;
+                                s.subscriber_dropped += evicted;
+                            });
+                            if let Some(stamp) = produced_at {
+                                shared.metrics.on_publish_lag(stamp.elapsed_micros());
+                            }
+                        }
+                        let _ = reply.send(Ok((seq, outcome.accepted)));
+                    }
+                    Err(reason) => {
+                        let _ = reply.send(Err(reason));
+                    }
                 }
-            },
+            }
             ShardMsg::Crash => {
                 // Deliberate chaos: prove the blast radius is one tenant.
                 panic!("chaos crash frame for tenant {tenant}");
@@ -625,7 +699,7 @@ fn conn_main(mut stream: UnixStream, shared: Arc<Shared>) {
     let mut decoder = Decoder::new();
     let mut watchdog = Watchdog::new(shared.config.idle_timeout);
     let mut tenant: Option<(String, SyncSender<ShardMsg>)> = None;
-    let mut is_subscriber = false;
+    let mut sub_queue: Option<Arc<SubQueue>> = None;
     let mut buf = [0u8; 4096];
     'conn: loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -638,7 +712,7 @@ fn conn_main(mut stream: UnixStream, shared: Arc<Shared>) {
                 decoder.push(&buf[..n]);
                 while let Some(event) = decoder.next_event() {
                     let keep_going =
-                        handle_event(&mut stream, &shared, &mut tenant, &mut is_subscriber, event);
+                        handle_event(&mut stream, &shared, &mut tenant, &mut sub_queue, event);
                     if !keep_going {
                         break 'conn;
                     }
@@ -647,7 +721,7 @@ fn conn_main(mut stream: UnixStream, shared: Arc<Shared>) {
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 // Subscribers are output-driven: they legitimately never
                 // send another byte, so the idle watchdog spares them.
-                if !is_subscriber && watchdog.poll() {
+                if sub_queue.is_none() && watchdog.poll() {
                     shared.with_stats(|s| s.idle_reaped += 1);
                     break;
                 }
@@ -669,7 +743,7 @@ fn handle_event(
     stream: &mut UnixStream,
     shared: &Arc<Shared>,
     tenant: &mut Option<(String, SyncSender<ShardMsg>)>,
-    is_subscriber: &mut bool,
+    sub_queue: &mut Option<Arc<SubQueue>>,
     event: DecodeEvent,
 ) -> bool {
     let frame = match event {
@@ -707,19 +781,47 @@ fn handle_event(
                 reject(stream, shared, RejectReason::NotAllowed);
                 return true;
             };
+            // Metrics stamps are taken only when enabled, so the bare
+            // daemon never reads the clock on this path.
+            let ingest_at = shared.metrics.is_enabled().then(Stopwatch::start);
             let (reply_tx, reply_rx) = sync_channel(1);
             let msg = ShardMsg::Batch {
                 seq,
                 rows,
                 reply: reply_tx,
+                enqueued_at: ingest_at,
             };
+            // Seam accounting: `offered` and its outcome (`enqueued`,
+            // `shed` or `refused`) move in one critical section, so the
+            // conservation identity holds at every mid-run snapshot.
             match tx.try_send(msg) {
-                Ok(()) => {}
+                Ok(()) => {
+                    shared.with_stats(|s| {
+                        s.batches_offered += 1;
+                        s.batches_enqueued += 1;
+                    });
+                    shared.metrics.on_enqueue(name);
+                }
                 Err(TrySendError::Full(_)) => {
-                    busy(stream, shared);
+                    shared.with_stats(|s| {
+                        s.batches_offered += 1;
+                        s.batches_shed += 1;
+                        s.busy_shed += 1;
+                    });
+                    shared.metrics.on_shed(name);
+                    write_frame(
+                        stream,
+                        &Frame::Busy {
+                            retry_after_ms: shared.config.busy_retry_ms,
+                        },
+                    );
                     return true;
                 }
                 Err(TrySendError::Disconnected(_)) => {
+                    shared.with_stats(|s| {
+                        s.batches_offered += 1;
+                        s.batches_refused += 1;
+                    });
                     let name = name.clone();
                     reap_tenant(shared, &name);
                     *tenant = None;
@@ -733,7 +835,22 @@ fn handle_event(
             let deadline = Deadline::after(shared.config.idle_timeout);
             match reply_rx.recv_timeout(deadline.remaining()) {
                 Ok(Ok((seq, accepted))) => {
+                    // Accepted-batch accounting happens here, after the
+                    // enqueue accounting on this same thread, so
+                    // `batches_accepted ≤ batches_enqueued` can never be
+                    // observed violated by a concurrent snapshot.
+                    shared.with_stats(|s| {
+                        s.batches_accepted += 1;
+                        s.rows_accepted += u64::from(accepted);
+                    });
                     write_frame(stream, &Frame::Ack { seq, accepted });
+                    if let Some(stamp) = ingest_at {
+                        shared.metrics.on_batch_acked(
+                            name,
+                            u64::from(accepted),
+                            stamp.elapsed_micros(),
+                        );
+                    }
                 }
                 Ok(Err(reason)) => reject(stream, shared, reason),
                 Err(_) => {
@@ -745,7 +862,7 @@ fn handle_event(
             }
         }
         Frame::Subscribe => {
-            if *is_subscriber {
+            if sub_queue.is_some() {
                 write_frame(
                     stream,
                     &Frame::Ack {
@@ -760,15 +877,16 @@ fn handle_event(
                 return true;
             };
             let queue = shared.hub.register(shared.config.subscriber_queue);
+            let writer_queue = Arc::clone(&queue);
             let spawned = std::thread::Builder::new()
                 .name("hydra-serve-sub".to_string())
-                .spawn(move || subscriber_writer(writer_stream, queue));
+                .spawn(move || subscriber_writer(writer_stream, writer_queue));
             match spawned {
                 Ok(handle) => {
                     if let Ok(mut joins) = shared.writer_joins.lock() {
                         joins.push(handle);
                     }
-                    *is_subscriber = true;
+                    *sub_queue = Some(queue);
                     write_frame(
                         stream,
                         &Frame::Ack {
@@ -778,6 +896,19 @@ fn handle_event(
                     );
                 }
                 Err(_) => reject(stream, shared, RejectReason::NotAllowed),
+            }
+        }
+        Frame::StatsRequest => {
+            let frame = Frame::StatsSnapshot {
+                json: shared.stats_snapshot_json(),
+            };
+            match sub_queue.as_ref() {
+                // On a subscriber connection the writer thread owns the
+                // stream clone: route the reply through its queue so it
+                // never interleaves with an incident frame mid-write and
+                // never blocks the publisher (bounded push + notify).
+                Some(queue) => queue.push_frame(frame.encode()),
+                None => write_frame(stream, &frame),
             }
         }
         Frame::Crash => {
@@ -811,7 +942,11 @@ fn handle_event(
         }
         // Server-to-client frames arriving at the server are protocol
         // violations from a confused or hostile peer.
-        Frame::Ack { .. } | Frame::Busy { .. } | Frame::Reject { .. } | Frame::Incident { .. } => {
+        Frame::Ack { .. }
+        | Frame::Busy { .. }
+        | Frame::Reject { .. }
+        | Frame::Incident { .. }
+        | Frame::StatsSnapshot { .. } => {
             reject(stream, shared, RejectReason::NotAllowed);
         }
     }
@@ -833,9 +968,10 @@ fn busy(stream: &mut UnixStream, shared: &Shared) {
     );
 }
 
-/// Drains a subscriber's bounded queue onto its stream. Returns the
-/// queue's `(pushed, dropped)` accounting for the final report.
-fn subscriber_writer(mut stream: UnixStream, queue: Arc<SubQueue>) -> (u64, u64) {
+/// Drains a subscriber's bounded queue onto its stream. Queue accounting
+/// is folded into [`ServeStats`] live at publish time, so this thread
+/// only moves bytes.
+fn subscriber_writer(mut stream: UnixStream, queue: Arc<SubQueue>) {
     loop {
         let item = {
             let Ok(mut state) = queue.state.lock() else {
@@ -864,10 +1000,6 @@ fn subscriber_writer(mut stream: UnixStream, queue: Arc<SubQueue>) -> (u64, u64)
             }
             None => break,
         }
-    }
-    match queue.state.lock() {
-        Ok(state) => (state.pushed(), state.dropped()),
-        Err(_) => (0, 0),
     }
 }
 

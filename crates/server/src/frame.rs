@@ -180,6 +180,17 @@ pub enum Frame {
     Crash,
     /// Client → daemon: drain and shut down gracefully.
     Drain,
+    /// Client → daemon: request a live [`StatsSnapshot`](Frame::StatsSnapshot).
+    /// Allowed on any connection; on subscriber connections the reply is
+    /// routed through the subscriber queue so it never interleaves with
+    /// incident frames or blocks the publisher.
+    StatsRequest,
+    /// Daemon → client: a point-in-time stats snapshot.
+    StatsSnapshot {
+        /// The `hydra-serve-stats-v1` JSON payload (see
+        /// [`crate::stats::SERVE_STATS_SCHEMA_VERSION`]).
+        json: String,
+    },
 }
 
 impl Frame {
@@ -195,6 +206,8 @@ impl Frame {
             Frame::Incident { .. } => 7,
             Frame::Crash => 8,
             Frame::Drain => 9,
+            Frame::StatsRequest => 10,
+            Frame::StatsSnapshot { .. } => 11,
         }
     }
 
@@ -229,7 +242,7 @@ impl Frame {
                     out.extend_from_slice(&row.to_le_bytes());
                 }
             }
-            Frame::Subscribe | Frame::Crash | Frame::Drain => {}
+            Frame::Subscribe | Frame::Crash | Frame::Drain | Frame::StatsRequest => {}
             Frame::Ack { seq, accepted } => {
                 out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(&accepted.to_le_bytes());
@@ -242,10 +255,11 @@ impl Frame {
             }
             Frame::Incident { tenant, line } => {
                 put_str16(&mut out, tenant, MAX_TENANT_LEN);
-                let bytes = line.as_bytes();
-                let n = bytes.len().min(MAX_PAYLOAD - out.len() - 4);
-                out.extend_from_slice(&(n as u32).to_le_bytes());
-                out.extend_from_slice(&bytes[..n]);
+                let budget = MAX_PAYLOAD - out.len() - 4;
+                put_str32(&mut out, line, budget);
+            }
+            Frame::StatsSnapshot { json } => {
+                put_str32(&mut out, json, MAX_PAYLOAD - 4);
             }
         }
         out
@@ -282,16 +296,15 @@ impl Frame {
             },
             7 => {
                 let tenant = r.str16(MAX_TENANT_LEN)?;
-                let n = r.u32()? as usize;
-                let bytes = r.bytes(n)?;
                 Frame::Incident {
                     tenant,
-                    line: String::from_utf8(bytes.to_vec())
-                        .map_err(|_| RejectReason::BadPayload)?,
+                    line: r.str32()?,
                 }
             }
             8 => Frame::Crash,
             9 => Frame::Drain,
+            10 => Frame::StatsRequest,
+            11 => Frame::StatsSnapshot { json: r.str32()? },
             _ => return Err(RejectReason::BadKind),
         };
         r.done()?;
@@ -301,7 +314,7 @@ impl Frame {
 
 /// True iff `kind` is a known frame kind code.
 fn known_kind(kind: u8) -> bool {
-    (1..=9).contains(&kind)
+    (1..=11).contains(&kind)
 }
 
 /// What [`Decoder::next_event`] yields.
@@ -453,14 +466,25 @@ pub fn frame_checksum(version: u8, kind: u8, payload: &[u8]) -> u32 {
 }
 
 fn put_str16(out: &mut Vec<u8>, s: &str, max: usize) {
-    // Truncate on a char boundary so the result stays valid UTF-8.
+    let bytes = truncate_utf8(s, max);
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_str32(out: &mut Vec<u8>, s: &str, max: usize) {
+    let bytes = truncate_utf8(s, max);
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// The longest prefix of `s` that fits in `max` bytes, cut on a char
+/// boundary so the result stays valid UTF-8 (the decoder re-validates).
+fn truncate_utf8(s: &str, max: usize) -> &[u8] {
     let mut end = s.len().min(max);
     while end > 0 && !s.is_char_boundary(end) {
         end -= 1;
     }
-    let bytes = &s.as_bytes()[..end];
-    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
-    out.extend_from_slice(bytes);
+    &s.as_bytes()[..end]
 }
 
 /// Bounds-checked little-endian payload reader; every read that would
@@ -514,6 +538,12 @@ impl<'a> Reader<'a> {
         if len > max {
             return Err(RejectReason::BadPayload);
         }
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| RejectReason::BadPayload)
+    }
+
+    fn str32(&mut self) -> Result<String, RejectReason> {
+        let len = self.u32()? as usize;
         let bytes = self.bytes(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| RejectReason::BadPayload)
     }
@@ -574,6 +604,49 @@ mod tests {
         });
         round_trip(Frame::Crash);
         round_trip(Frame::Drain);
+        round_trip(Frame::StatsRequest);
+        round_trip(Frame::StatsSnapshot {
+            json: "{\"schema\":\"x\",\"counters\":{}}".to_string(),
+        });
+    }
+
+    #[test]
+    fn stats_snapshot_payload_is_length_prefixed_utf8() {
+        let json = "{\"tenant\":\"行列積\"}".to_string();
+        round_trip(Frame::StatsSnapshot { json: json.clone() });
+        // A non-UTF-8 payload body must reject, not panic.
+        let mut bytes = Frame::StatsSnapshot { json }.encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 0xff; // snap a multibyte char
+        let checksum = frame_checksum(WIRE_VERSION, 11, &bytes[HEADER_LEN..]);
+        bytes[8..12].copy_from_slice(&checksum.to_le_bytes());
+        let mut d = Decoder::new();
+        d.push(&bytes);
+        assert!(matches!(
+            d.next_event(),
+            Some(DecodeEvent::Rejected {
+                reason: RejectReason::BadPayload,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn stats_request_payload_must_be_empty() {
+        let mut bytes = Frame::StatsRequest.encode();
+        bytes.extend_from_slice(&[0xab]); // trailing garbage byte
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let checksum = frame_checksum(WIRE_VERSION, 10, &[0xab]);
+        bytes[8..12].copy_from_slice(&checksum.to_le_bytes());
+        let mut d = Decoder::new();
+        d.push(&bytes);
+        assert!(matches!(
+            d.next_event(),
+            Some(DecodeEvent::Rejected {
+                reason: RejectReason::BadPayload,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -25,8 +25,11 @@
 //!   reconnect storm, shard crasher) that enforces the chaos gate.
 //! * [`session`] — deterministic session record/replay: a recorded
 //!   session file replays byte-identically via `hydra replay-session`.
-//! * [`stats`] — the accounting ledger: every reject, shed, drop and
-//!   panic is counted; nothing fails silently.
+//! * [`stats`] — the accounting ledger (every reject, shed, drop and
+//!   panic is counted; nothing fails silently) plus the live metrics
+//!   plane: wire-path latency histograms and per-tenant counters,
+//!   served as `hydra-serve-stats-v1` snapshots and rendered by
+//!   `hydra top`.
 //!
 //! This is the only crate in the workspace allowed to touch Unix-socket
 //! I/O (`repo-lint`'s `io-layer` rule) and, alongside `hydra-engine` and
@@ -49,5 +52,8 @@ pub use frame::{
     SERVE_SCHEMA_VERSION,
 };
 pub use session::{geometry_by_name, replay_check, RecordedBatch, Session};
-pub use stats::ServeStats;
+pub use stats::{
+    render_stats_json, HistSummary, MetricsSink, MetricsSnapshot, NoopMetrics, ServeMetrics,
+    ServeStats, StatsReading, TenantRow, SERVE_STATS_SCHEMA_VERSION,
+};
 pub use tenant::{BatchOutcome, TenantPipeline, TenantSummary};

@@ -18,8 +18,8 @@ use std::time::Duration;
 
 use hydra_server::client::{run_load, tenant_batch};
 use hydra_server::{
-    geometry_by_name, replay_check, spawn, Client, Frame, LoadConfig, ServeConfig, ServeReport,
-    TenantPipeline,
+    geometry_by_name, replay_check, spawn, Client, DecodeEvent, Frame, LoadConfig, ServeConfig,
+    ServeReport, StatsReading, TenantPipeline,
 };
 
 /// Unique socket path per test so suites can run in parallel.
@@ -324,4 +324,181 @@ fn full_adversary_mix_preserves_honest_tenants() {
     // replays byte-identically.
     let session = report.session.expect("recording was enabled");
     replay_check(&session.to_text()).expect("session replays byte-identically under chaos");
+}
+
+#[test]
+fn metered_daemon_is_digest_identical_to_bare_under_chaos() {
+    // Same full adversary mix as the bare-daemon chaos gate, but with
+    // the metrics plane live. Metrics must never influence control flow:
+    // every honest tenant's daemon digest still matches the digest its
+    // local pipeline computed independently (the same bar the unmetered
+    // run is held to), and the recorded session still replays
+    // byte-identically.
+    let mut config = test_config("metered-mix");
+    config.allow_crash_frames = true;
+    config.record = true;
+    config.metrics = true;
+    let handle = spawn(config).expect("daemon spawns");
+    let path = handle.socket_path().to_path_buf();
+
+    let load = run_load(&LoadConfig::smoke(&path)).expect("chaos gate holds with metrics on");
+    let report = handle.join().expect("metered daemon survives the mix");
+
+    assert_eq!(load.tenants.len(), 3);
+    for t in &load.tenants {
+        assert_eq!(t.sent, t.acked, "{}: every batch acked", t.tenant);
+        let summary = report
+            .tenant(&t.tenant)
+            .unwrap_or_else(|| panic!("{} missing from daemon report", t.tenant));
+        assert_eq!(
+            summary.digest(),
+            t.expected_digest,
+            "{}: metering changed the daemon's output",
+            t.tenant
+        );
+    }
+    let session = report.session.expect("recording was enabled");
+    replay_check(&session.to_text()).expect("metered session replays byte-identically");
+}
+
+/// Pulls the seam identities out of one snapshot and asserts them.
+fn assert_snapshot_identities(r: &StatsReading) {
+    let offered = r.counter("batches_offered");
+    let enqueued = r.counter("batches_enqueued");
+    let shed = r.counter("batches_shed");
+    let refused = r.counter("batches_refused");
+    assert_eq!(
+        enqueued + shed + refused,
+        offered,
+        "every offered batch has exactly one outcome at every snapshot"
+    );
+    assert!(
+        r.counter("batches_accepted") <= enqueued,
+        "a batch is accounted enqueued before it can be acked"
+    );
+    assert!(
+        r.counter("subscriber_queued") <= r.counter("incidents_published"),
+        "an incident is accounted published before it is queued"
+    );
+    assert!(
+        r.counter("subscriber_dropped") <= r.counter("subscriber_queued"),
+        "an evicted incident was queued first"
+    );
+}
+
+#[test]
+fn stats_snapshots_stay_consistent_and_monotonic_under_chaos() {
+    let mut config = test_config("statsmono");
+    config.allow_crash_frames = true;
+    config.metrics = true;
+    let handle = spawn(config).expect("daemon spawns");
+    let path = handle.socket_path().to_path_buf();
+
+    // Chaos mix in the background; this thread scrapes snapshots while
+    // the adversaries run.
+    let load_path = path.clone();
+    let load = std::thread::spawn(move || run_load(&LoadConfig::smoke(&load_path)));
+
+    let mut snapshots: Vec<StatsReading> = Vec::new();
+    let mut scraper: Option<Client> = None;
+    loop {
+        let client = match scraper.as_mut() {
+            Some(c) => c,
+            // (Re)connect lazily: the daemon may already be draining.
+            None => match Client::connect(&path) {
+                Ok(c) => scraper.insert(c),
+                Err(_) => break,
+            },
+        };
+        match client.stats() {
+            Ok(reading) => snapshots.push(reading),
+            Err(_) => break,
+        }
+    }
+    let load = load.join().expect("load thread").expect("chaos gate holds");
+    assert!(load.incidents_seen > 0, "mix produced incidents");
+    assert!(
+        snapshots.len() >= 3,
+        "scraper landed only {} snapshot(s) mid-run",
+        snapshots.len()
+    );
+
+    for (i, snap) in snapshots.iter().enumerate() {
+        // The race-consistency identities hold at *every* mid-run
+        // snapshot, not just at drain.
+        assert_snapshot_identities(snap);
+        // And every counter is monotonically non-decreasing between
+        // successive snapshots.
+        if i > 0 {
+            let prev = &snapshots[i - 1];
+            for (name, value) in &snap.counters {
+                let before = prev.counter(name);
+                assert!(
+                    *value >= before,
+                    "counter {name} went backwards between snapshots: {before} -> {value}"
+                );
+            }
+        }
+    }
+    // The scrape itself is accounted.
+    let last = snapshots.last().expect("nonempty");
+    assert!(
+        last.counter("stats_served") + 1 >= snapshots.len() as u64 - 1,
+        "stats_served must count the scrapes"
+    );
+}
+
+#[test]
+fn stats_request_on_a_subscriber_never_blocks_the_publisher() {
+    let mut config = test_config("statsub");
+    config.metrics = true;
+    let handle = spawn(config).expect("daemon spawns");
+    let path = handle.socket_path().to_path_buf();
+
+    let mut sub = Client::connect(&path).expect("subscriber connects");
+    sub.subscribe().expect("subscribed");
+    // Park a stats request on the subscriber connection and deliberately
+    // do NOT read the reply yet: the snapshot must ride the subscriber
+    // queue without stalling incident fan-out or batch ingest.
+    sub.send(&Frame::StatsRequest).expect("stats request sent");
+
+    let mut honest = Client::connect(&path).expect("honest connects");
+    honest.hello("honest").expect("registered");
+    for seq in 1..=16u64 {
+        honest
+            .send_batch(seq, &tenant_batch(0, seq, 192))
+            .expect("batch acked while the subscriber sits on its reply");
+    }
+
+    // Now drain the subscriber queue: the snapshot must arrive among the
+    // incidents, schema-stamped and parseable, with live metrics.
+    let mut saw_snapshot = false;
+    let mut incidents = 0u64;
+    for _ in 0..200 {
+        match sub.recv_event(Duration::from_millis(100)) {
+            Ok(DecodeEvent::Frame(Frame::StatsSnapshot { json })) => {
+                let reading = StatsReading::parse(&json).expect("snapshot parses");
+                assert!(reading.metrics.is_some(), "metrics plane was enabled");
+                saw_snapshot = true;
+                break;
+            }
+            Ok(DecodeEvent::Frame(Frame::Incident { .. })) => incidents += 1,
+            Ok(_) => {}
+            Err(e) if e == "timeout" => break,
+            Err(e) => panic!("subscriber read failed: {e}"),
+        }
+    }
+    assert!(
+        saw_snapshot,
+        "snapshot never arrived on the subscriber queue ({incidents} incidents seen)"
+    );
+    drop(sub);
+    drop(honest);
+    let report = handle.shutdown().expect("daemon drains cleanly");
+    assert!(report.stats.stats_served >= 1, "the scrape was accounted");
+    assert_eq!(
+        daemon_canon(&report, "honest"),
+        expected_canon("honest", 0, 16, 192),
+        "a parked stats reply must not perturb ingest"
+    );
 }

@@ -47,6 +47,11 @@ fn arb_frame() -> BoxedStrategy<Frame> {
             }),
         1 => Just(Frame::Crash),
         1 => Just(Frame::Drain),
+        1 => Just(Frame::StatsRequest),
+        2 => prop::sample::select(LINE_FRAGMENTS.to_vec())
+            .prop_map(|json| Frame::StatsSnapshot {
+                json: json.to_string(),
+            }),
     ]
     .boxed()
 }
@@ -175,14 +180,33 @@ fn corpus_valid_frames_decode() {
 }
 
 #[test]
+fn corpus_valid_stats_frames_decode() {
+    let request = decode_all(&corpus("valid_stats_request"));
+    assert_eq!(request, vec![DecodeEvent::Frame(Frame::StatsRequest)]);
+    let snapshot = decode_all(&corpus("valid_stats_snapshot"));
+    assert!(matches!(
+        snapshot.as_slice(),
+        [DecodeEvent::Frame(Frame::StatsSnapshot { json })]
+            if json.contains("hydra-serve-stats-v1")
+    ));
+}
+
+#[test]
 fn corpus_malformed_inputs_are_classified() {
-    let cases: [(&str, RejectReason); 6] = [
+    let cases: [(&str, RejectReason); 9] = [
         ("bad_magic_junk", RejectReason::BadMagic),
         ("bad_version", RejectReason::BadVersion),
         ("bad_kind", RejectReason::BadKind),
         ("oversize_len", RejectReason::Oversize),
         ("bad_checksum", RejectReason::BadChecksum),
         ("payload_soup", RejectReason::BadPayload),
+        // Stats-frame variants: an oversize snapshot length, a corrupted
+        // snapshot payload byte under the original checksum, and a
+        // StatsRequest carrying bytes where the payload must be empty
+        // (checksum deliberately valid so only payload parsing rejects).
+        ("stats_snapshot_oversize", RejectReason::Oversize),
+        ("stats_snapshot_bad_checksum", RejectReason::BadChecksum),
+        ("stats_request_trailing_byte", RejectReason::BadPayload),
     ];
     for (name, expected) in cases {
         let got = reasons(&decode_all(&corpus(name)));

@@ -46,12 +46,14 @@
 
 pub mod bounded;
 pub mod event;
+pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 
 pub use bounded::BoundedBuf;
 pub use event::{CtrlQueue, EventKind, TelemetryEvent};
+pub use histogram::LatencyHistogram;
 pub use metrics::{MetricValue, MetricsRegistry, MetricsRow};
 pub use sink::{
     CountingSink, EventSink, JsonlSink, KindFilterSink, NoopSink, RingBufferSink, TeeSink,

@@ -73,6 +73,51 @@ impl Deadline {
     }
 }
 
+/// A monotonic elapsed-time sampler for latency metrics.
+///
+/// The service daemon's metrics plane stamps hot-path intervals
+/// (batch-ingest→Ack, shard-queue wait, incident publish lag) with this
+/// rather than re-deriving `Instant` arithmetic inline: like
+/// [`Deadline`], it saturates against clocks that step backwards, and it
+/// quantizes to whole microseconds so histograms bucket identically
+/// across platforms with different `Instant` resolutions.
+///
+/// Every query has an `_at(now)` variant taking an explicit [`Instant`]
+/// so interval behaviour is testable without sleeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// A stopwatch anchored now.
+    pub fn start() -> Self {
+        Stopwatch::starting_at(Instant::now())
+    }
+
+    /// A stopwatch anchored at an explicit instant (testable variant).
+    pub fn starting_at(start: Instant) -> Self {
+        Stopwatch { start }
+    }
+
+    /// The anchor instant.
+    pub fn anchor(&self) -> Instant {
+        self.start
+    }
+
+    /// Whole microseconds elapsed at `now`, saturating at zero for
+    /// backwards steps and at `u64::MAX` for absurd spans.
+    pub fn elapsed_micros_at(&self, now: Instant) -> u64 {
+        let micros = now.saturating_duration_since(self.start).as_micros();
+        micros.min(u64::MAX as u128) as u64
+    }
+
+    /// Whole microseconds elapsed now.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.elapsed_micros_at(Instant::now())
+    }
+}
+
 /// A latching idle watchdog over a [`Deadline`]: fires exactly once per
 /// arming, and re-arms on [`feed`](Watchdog::feed).
 #[derive(Debug, Clone, Copy)]
@@ -198,6 +243,23 @@ mod tests {
         assert!(!w.poll_at(t0 + Duration::from_secs(10)));
         assert!(w.poll_at(t0 + Duration::from_secs(11)), "new boundary");
         assert!(!w.poll_at(t0 + Duration::from_secs(12)), "latched again");
+    }
+
+    #[test]
+    fn stopwatch_measures_whole_micros_and_saturates_backwards() {
+        let t0 = Instant::now();
+        let sw = Stopwatch::starting_at(t0 + Duration::from_secs(1));
+        // Clock "before" the anchor saturates to zero, never panics.
+        assert_eq!(sw.elapsed_micros_at(t0), 0);
+        let sw = Stopwatch::starting_at(t0);
+        assert_eq!(sw.elapsed_micros_at(t0), 0);
+        assert_eq!(sw.elapsed_micros_at(t0 + Duration::from_micros(7)), 7);
+        assert_eq!(
+            sw.elapsed_micros_at(t0 + Duration::from_micros(1_234_567)),
+            1_234_567
+        );
+        // Sub-microsecond remainders truncate (quantized sampling).
+        assert_eq!(sw.elapsed_micros_at(t0 + Duration::from_nanos(2_900)), 2);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod tracker;
 
 pub use addr::{LineAddr, RowAddr};
 pub use clock::{Clock, MemCycle, NANOS_PER_SEC};
-pub use deadline::{Deadline, Watchdog};
+pub use deadline::{Deadline, Stopwatch, Watchdog};
 pub use error::ConfigError;
 pub use geometry::MemGeometry;
 pub use mitigation::{BlastRadius, MitigationPolicy, MitigationRequest};

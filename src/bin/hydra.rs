@@ -16,6 +16,7 @@
 //! hydra sweep [--smoke] [--jobs N]      # design-space sweep → hydra-sweep-v1 JSONL
 //! hydra serve --socket PATH [flags]     # multi-tenant activation daemon
 //! hydra load --socket PATH [--smoke]    # adversarial load mix against a daemon
+//! hydra top --socket PATH [--watch N]   # live daemon stats scrape (hydra-serve-stats-v1)
 //! hydra replay-session FILE             # byte-identical session replay check
 //! ```
 
@@ -28,9 +29,10 @@ use hydra_repro::engine::{run_sweep, SweepGrid};
 use hydra_repro::faults::FaultPlan;
 use hydra_repro::forensics::{
     compare_reports, incidents_to_jsonl, parse_bench_report, parse_trace_meta, replay_trace,
-    CompareConfig, ForensicsProbe, BENCH_SCHEMA_VERSION,
+    CompareConfig, ForensicsProbe, BENCH_SCHEMA_VERSION_V2,
 };
-use hydra_repro::server::{replay_check, run_load, LoadConfig, ServeConfig};
+use hydra_repro::server::stats::names as metric_names;
+use hydra_repro::server::{replay_check, run_load, Client, LoadConfig, ServeConfig, StatsReading};
 use hydra_repro::sim::batch::{BatchConfig, BatchJob, BatchRunner, JobStatus};
 use hydra_repro::sim::{run_windowed, ActivationSim, WindowSeries};
 use hydra_repro::telemetry::json::escape_into;
@@ -59,10 +61,11 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("replay-session") => cmd_replay_session(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace|forensics|sweep|serve|load|replay-session> [args]"
+                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace|forensics|sweep|serve|load|top|replay-session> [args]"
             );
             eprintln!("  storage                      print the paper's storage tables");
             eprintln!("  list                         list the 36 registered workloads");
@@ -77,7 +80,7 @@ fn main() -> ExitCode {
             eprintln!("        [--watchdog-ms MS] [--retries N] [--force-failure]");
             eprintln!("                               fault campaign under the batch harness");
             eprintln!("  replay <file>                reproduce a run from its replay artifact");
-            eprintln!("  bench [--smoke] [--out FILE] [--acts N]");
+            eprintln!("  bench [--smoke] [--out FILE] [--acts N] [--repeats N]");
             eprintln!(
                 "                               throughput/slowdown matrix → BENCH_hydra.json"
             );
@@ -99,10 +102,14 @@ fn main() -> ExitCode {
             );
             eprintln!("  serve --socket PATH [--geometry G] [--t-rh N] [--max-tenants N]");
             eprintln!("        [--idle-timeout-ms MS] [--record FILE] [--allow-crash-frames]");
-            eprintln!("                               run the activation daemon until drained");
+            eprintln!("        [--metrics]            run the activation daemon until drained");
             eprintln!("  load --socket PATH [--smoke] [--tenants N] [--batches N] [--rows N]");
-            eprintln!("        [--fault-rate F] [--seed S] [--no-drain]");
+            eprintln!("        [--fault-rate F] [--seed S] [--no-drain | --drain-only]");
             eprintln!("                               adversarial load mix; kv report on stdout");
+            eprintln!("  top --socket PATH [--watch N] [--json]");
+            eprintln!(
+                "                               live daemon stats: counters, latency, tenants"
+            );
             eprintln!(
                 "  replay-session <file>        re-run a recorded session; nonzero on divergence"
             );
@@ -447,6 +454,9 @@ struct BenchCell {
     acts: u64,
     wall_secs: f64,
     acts_per_sec: f64,
+    acts_per_sec_stddev: f64,
+    acts_per_sec_cv_pct: f64,
+    repeats: u64,
     bandwidth_inflation: f64,
     slowdown_pct: f64,
     windows: u64,
@@ -460,7 +470,8 @@ impl BenchCell {
             concat!(
                 "{{\"workload\":\"{}\",\"geometry\":\"{}\",\"acts\":{},",
                 "\"wall_secs\":{:.6},\"acts_per_sec\":{:.1},",
-                "\"bandwidth_inflation\":{:.6},\"slowdown_pct\":{:.3},",
+                "\"acts_per_sec_stddev\":{:.1},\"acts_per_sec_cv_pct\":{:.3},",
+                "\"repeats\":{},\"bandwidth_inflation\":{:.6},\"slowdown_pct\":{:.3},",
                 "\"windows\":{},\"mitigations\":{},\"delta_sum_ok\":{}}}"
             ),
             self.workload,
@@ -468,6 +479,9 @@ impl BenchCell {
             self.acts,
             self.wall_secs,
             self.acts_per_sec,
+            self.acts_per_sec_stddev,
+            self.acts_per_sec_cv_pct,
+            self.repeats,
             self.bandwidth_inflation,
             self.slowdown_pct,
             self.windows,
@@ -492,6 +506,7 @@ struct BenchCellJob {
     geometry: String,
     acts: u64,
     seed: u64,
+    repeats: u64,
 }
 
 impl BatchJob for BenchCellJob {
@@ -503,11 +518,6 @@ impl BatchJob for BenchCellJob {
 
     fn run(&self, _attempt: u32) -> Result<BenchCell, String> {
         let geom = bench_geometry(&self.geometry)?;
-        let tracker = Hydra::isca22_default(geom, 0).map_err(|e| e.to_string())?;
-        // Shrink the refresh window so even a short run crosses several
-        // window boundaries and exercises the reset + snapshot path.
-        let timing = DramTiming::ddr4_3200().with_scaled_window(1_000);
-        let mut sim = ActivationSim::new(geom, tracker).with_timing(timing);
         // A cell is either a registered workload or an attack pattern; the
         // attack cells are what make slowdown and mitigations nonzero.
         let rows: Vec<RowAddr> = if let Some(spec) = registry::by_name(&self.workload) {
@@ -526,23 +536,60 @@ impl BatchJob for BenchCellJob {
                 .collect()
         };
 
-        let mut series = WindowSeries::new();
-        let start = std::time::Instant::now();
-        let report = run_windowed(&mut sim, rows, &mut series);
-        let wall_secs = start.elapsed().as_secs_f64();
+        // Each repeat replays the same deterministic row stream through a
+        // fresh tracker, so the simulated columns are identical across
+        // repeats; only the wall-clock throughput varies, and that spread
+        // is exactly what the variance columns characterize.
+        let mut throughputs: Vec<f64> = Vec::with_capacity(self.repeats as usize);
+        let mut wall_total = 0.0;
+        let mut sim_outcome: Option<(f64, u64, u64, bool)> = None;
+        for _ in 0..self.repeats.max(1) {
+            let tracker = Hydra::isca22_default(geom, 0).map_err(|e| e.to_string())?;
+            // Shrink the refresh window so even a short run crosses several
+            // window boundaries and exercises the reset + snapshot path.
+            let timing = DramTiming::ddr4_3200().with_scaled_window(1_000);
+            let mut sim = ActivationSim::new(geom, tracker).with_timing(timing);
+            let mut series = WindowSeries::new();
+            let start = std::time::Instant::now();
+            let report = run_windowed(&mut sim, rows.clone(), &mut series);
+            let wall_secs = start.elapsed().as_secs_f64();
+            wall_total += wall_secs;
+            throughputs.push(self.acts as f64 / wall_secs.max(1e-9));
+            let delta_sum_ok = series.total() == sim.tracker().stats();
+            sim_outcome = Some((
+                report.bandwidth_inflation(),
+                report.window_resets,
+                report.mitigations,
+                delta_sum_ok,
+            ));
+        }
+        let (inflation, windows, mitigations, delta_sum_ok) =
+            sim_outcome.ok_or("bench cell ran zero repeats")?;
 
-        let delta_sum_ok = series.total() == sim.tracker().stats();
-        let inflation = report.bandwidth_inflation();
+        let mean = throughputs.iter().sum::<f64>() / throughputs.len() as f64;
+        let variance = throughputs
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
+            / throughputs.len() as f64;
+        let stddev = variance.sqrt();
         Ok(BenchCell {
             workload: self.workload.clone(),
             geometry: self.geometry.clone(),
             acts: self.acts,
-            wall_secs,
-            acts_per_sec: self.acts as f64 / wall_secs.max(1e-9),
+            wall_secs: wall_total,
+            acts_per_sec: mean,
+            acts_per_sec_stddev: stddev,
+            acts_per_sec_cv_pct: if mean > 0.0 {
+                stddev / mean * 100.0
+            } else {
+                0.0
+            },
+            repeats: throughputs.len() as u64,
             bandwidth_inflation: inflation,
             slowdown_pct: (inflation - 1.0) * 100.0,
-            windows: report.window_resets,
-            mitigations: report.mitigations,
+            windows,
+            mitigations,
             delta_sum_ok,
         })
     }
@@ -550,7 +597,7 @@ impl BatchJob for BenchCellJob {
 
 fn bench_json(smoke: bool, acts: u64, cells: &[BenchCell], failures: &[String]) -> String {
     use std::fmt::Write as _;
-    let mut out = format!("{{\"schema\":\"{BENCH_SCHEMA_VERSION}\",");
+    let mut out = format!("{{\"schema\":\"{BENCH_SCHEMA_VERSION_V2}\",");
     let _ = write!(
         out,
         "\"smoke\":{smoke},\"acts_per_cell\":{acts},\"cells\":["
@@ -603,11 +650,23 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut tolerance_pct = CompareConfig::default().tolerance_pct;
     let mut gate_throughput = false;
     let mut bench_jobs: usize = 1;
+    let mut repeats: u64 = 1;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--repeats" => {
+                i += 1;
+                repeats = args
+                    .get(i)
+                    .ok_or("--repeats needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --repeats")?;
+                if repeats == 0 {
+                    return Err("--repeats must be at least 1".into());
+                }
+            }
             "--jobs" => {
                 i += 1;
                 bench_jobs = args
@@ -690,12 +749,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 geometry: (*g).to_string(),
                 acts,
                 seed: 42,
+                repeats,
             });
         }
     }
     let total = jobs.len();
     println!(
-        "bench: {total} cell(s), {acts} acts each → {}",
+        "bench: {total} cell(s), {acts} acts each, {repeats} repeat(s) → {}",
         out.display()
     );
 
@@ -717,9 +777,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         match (&job.status, &job.output) {
             (JobStatus::Succeeded { .. }, Some(cell)) => {
                 println!(
-                    "  {:<16} {:>12.0} acts/s  slowdown {:>8.3}%  windows {:>4}  delta-sum {}",
+                    "  {:<16} {:>12.0} acts/s  cv {:>5.2}%  slowdown {:>8.3}%  windows {:>4}  delta-sum {}",
                     job.label,
                     cell.acts_per_sec,
+                    cell.acts_per_sec_cv_pct,
                     cell.slowdown_pct,
                     cell.windows,
                     if cell.delta_sum_ok { "ok" } else { "VIOLATED" },
@@ -988,6 +1049,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut idle_timeout_ms: Option<u64> = None;
     let mut record: Option<PathBuf> = None;
     let mut allow_crash_frames = false;
+    let mut metrics = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -1018,6 +1080,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             "--record" => record = Some(PathBuf::from(value("--record")?)),
             "--allow-crash-frames" => allow_crash_frames = true,
+            "--metrics" => metrics = true,
             other => return Err(format!("unknown serve flag {other}")),
         }
         i += 1;
@@ -1037,6 +1100,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     config.allow_crash_frames = allow_crash_frames;
     config.record = record.is_some();
+    config.metrics = metrics;
 
     eprintln!(
         "serve: listening on {} (geometry {geometry}, t_rh {t_rh}); send a Drain frame to stop",
@@ -1067,6 +1131,7 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
     let mut fault_rate: Option<f64> = None;
     let mut seed: Option<u64> = None;
     let mut no_drain = false;
+    let mut drain_only = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -1096,6 +1161,7 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
             }
             "--seed" => seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--no-drain" => no_drain = true,
+            "--drain-only" => drain_only = true,
             other => return Err(format!("unknown load flag {other}")),
         }
         i += 1;
@@ -1108,12 +1174,34 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
             || rows.is_some()
             || fault_rate.is_some()
             || seed.is_some()
-            || no_drain)
+            || no_drain
+            || drain_only)
     {
         return Err("--smoke pins the mix; drop it to customize".into());
     }
+    if drain_only
+        && (tenants.is_some()
+            || batches.is_some()
+            || rows.is_some()
+            || fault_rate.is_some()
+            || no_drain)
+    {
+        return Err("--drain-only sends nothing but the drain; drop the mix flags".into());
+    }
 
     let mut config = LoadConfig::smoke(&socket);
+    if drain_only {
+        // Shut down a daemon left running by a --no-drain load (the
+        // obs-smoke scrape pattern) without replaying the adversary mix
+        // against its surviving per-tenant sequence state.
+        config.tenants = 0;
+        config.batches_per_tenant = 0;
+        config.corruptor = false;
+        config.fault_rate = 0.0;
+        config.slow_reader = false;
+        config.reconnect_storm = false;
+        config.crash_tenant = false;
+    }
     if let Some(n) = tenants {
         config.tenants = n;
     }
@@ -1136,6 +1224,140 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
     let report = run_load(&config)?;
     print!("{}", report.to_kv_lines());
     Ok(())
+}
+
+/// `hydra top`: scrape a running daemon's live stats over the wire
+/// protocol and render them as per-tenant tables (or dump the raw
+/// `hydra-serve-stats-v1` JSON with `--json`).
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut watch: Option<u64> = None;
+    let mut json = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--watch" => {
+                let secs: u64 = value("--watch")?.parse().map_err(|_| "bad --watch")?;
+                if secs == 0 {
+                    return Err("--watch must be at least 1 second".into());
+                }
+                watch = Some(secs);
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown top flag {other}")),
+        }
+        i += 1;
+    }
+    let socket = socket.ok_or("top needs --socket PATH")?;
+
+    loop {
+        // Reconnect per sample: a watch interval longer than the daemon's
+        // idle timeout would otherwise get the connection reaped between
+        // scrapes, and a fresh Unix-socket connect is cheap.
+        let mut client =
+            Client::connect(&socket).map_err(|e| format!("{}: {e}", socket.display()))?;
+        let raw = client.stats_json()?;
+        if json {
+            println!("{raw}");
+        } else {
+            let reading = StatsReading::parse(&raw)?;
+            print!("{}", render_top(&reading));
+        }
+        match watch {
+            Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+            None => return Ok(()),
+        }
+    }
+}
+
+/// Renders one stats snapshot as the `hydra top` text screen.
+fn render_top(r: &StatsReading) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "conns {}  frames_ok {}  rejects {}  panics {}  stats_served {}",
+        r.counter("connections"),
+        r.counter("frames_ok"),
+        r.rejects.values().sum::<u64>(),
+        r.counter("tenant_panics"),
+        r.counter("stats_served"),
+    );
+    let _ = writeln!(
+        out,
+        "batches: offered {}  enqueued {}  shed {}  refused {}  acked {}  rows {}",
+        r.counter("batches_offered"),
+        r.counter("batches_enqueued"),
+        r.counter("batches_shed"),
+        r.counter("batches_refused"),
+        r.counter("batches_accepted"),
+        r.counter("rows_accepted"),
+    );
+    let _ = writeln!(
+        out,
+        "incidents: published {}  sub-queued {}  sub-evicted {}",
+        r.counter("incidents_published"),
+        r.counter("subscriber_queued"),
+        r.counter("subscriber_dropped"),
+    );
+    let Some(m) = &r.metrics else {
+        let _ = writeln!(
+            out,
+            "metrics: disabled (start the daemon with `hydra serve --metrics`)"
+        );
+        return out;
+    };
+    let uptime_secs = m.uptime_micros as f64 / 1e6;
+    let _ = writeln!(out, "{}: {}", metric_names::UPTIME_MICROS, m.uptime_micros);
+    for (name, h) in [
+        (metric_names::INGEST_US, &m.ingest),
+        (metric_names::QUEUE_WAIT_US, &m.queue_wait),
+        (metric_names::PUBLISH_LAG_US, &m.publish_lag),
+    ] {
+        let _ = writeln!(
+            out,
+            "{name:<14} n {:>8}  mean {:>9.1}  p50 {:>9.1}  p99 {:>9.1}  max {:>8}",
+            h.count, h.mean, h.p50, h.p99, h.max,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<20} {:>9} {:>9} {:>10} {:>6} {:>9} {:>11} {:>9} {:>9}",
+        "tenant",
+        "acts/s",
+        "batches",
+        "rows",
+        "sheds",
+        "incidents",
+        metric_names::QUEUE_DEPTH,
+        "p50_us",
+        "p99_us",
+    );
+    for t in &m.tenants {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9.0} {:>9} {:>10} {:>6} {:>9} {:>11} {:>9.1} {:>9.1}",
+            t.tenant,
+            t.rows as f64 / uptime_secs.max(1e-9),
+            t.batches,
+            t.rows,
+            t.sheds,
+            t.incidents,
+            t.queue_depth,
+            t.ingest.p50,
+            t.ingest.p99,
+        );
+    }
+    out
 }
 
 fn cmd_replay_session(args: &[String]) -> Result<(), String> {
