@@ -46,6 +46,10 @@ pub const CRATE_DAG: &[CrateLayer] = &[
         deps: &["types"],
     },
     CrateLayer {
+        name: "profiler",
+        deps: &["types"],
+    },
+    CrateLayer {
         name: "dram",
         deps: &["types"],
     },
@@ -59,7 +63,7 @@ pub const CRATE_DAG: &[CrateLayer] = &[
     },
     CrateLayer {
         name: "core",
-        deps: &["types", "telemetry"],
+        deps: &["types", "telemetry", "profiler"],
     },
     CrateLayer {
         name: "faults",
@@ -67,11 +71,18 @@ pub const CRATE_DAG: &[CrateLayer] = &[
     },
     CrateLayer {
         name: "sim",
-        deps: &["types", "dram", "workloads", "core", "telemetry"],
+        deps: &[
+            "types",
+            "dram",
+            "workloads",
+            "core",
+            "telemetry",
+            "profiler",
+        ],
     },
     CrateLayer {
         name: "engine",
-        deps: &["types", "dram", "core", "sim", "workloads"],
+        deps: &["types", "dram", "core", "sim", "workloads", "profiler"],
     },
     CrateLayer {
         name: "forensics",
@@ -88,6 +99,7 @@ pub const CRATE_DAG: &[CrateLayer] = &[
             "engine",
             "faults",
             "forensics",
+            "profiler",
         ],
     },
     CrateLayer {

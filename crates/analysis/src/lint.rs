@@ -109,7 +109,7 @@ pub struct RuleInfo {
 /// otherwise), and `hydra-verify self-test` proves every entry fires on a
 /// known-bad snippet — so this table, the implementation, and the DESIGN.md
 /// catalog cannot drift apart silently.
-pub const RULES: [RuleInfo; 11] = [
+pub const RULES: [RuleInfo; 12] = [
     RuleInfo {
         id: "forbid-unsafe",
         severity: Severity::Error,
@@ -151,6 +151,13 @@ pub const RULES: [RuleInfo; 11] = [
         severity: Severity::Error,
         summary: "Unix-socket I/O only in crates/server (the activation daemon)",
         fix_hint: "talk to the daemon through hydra_server::Client instead of opening sockets",
+    },
+    RuleInfo {
+        id: "clock-reads-layer",
+        severity: Severity::Error,
+        summary: "raw clock reads (Instant::now/SystemTime::now) only in the timing layers",
+        fix_hint: "take a hydra_types::deadline::Stopwatch or an explicit `now` from the \
+                   caller instead of reading the clock inline",
     },
     RuleInfo {
         id: "schema-single-source",
@@ -282,7 +289,7 @@ fn json_str(s: &str) -> String {
 /// (literal, constant to import, workspace-relative defining file). The
 /// defining file is the only library source allowed to spell the literal
 /// out; this table (and the engine source carrying it) is exempt.
-pub const SCHEMA_LITERALS: [(&str, &str, &str); 7] = [
+pub const SCHEMA_LITERALS: [(&str, &str, &str); 8] = [
     (
         "hydra-trace-v1",
         "hydra_telemetry::TRACE_SCHEMA_VERSION",
@@ -317,6 +324,11 @@ pub const SCHEMA_LITERALS: [(&str, &str, &str); 7] = [
         "hydra-serve-stats-v1",
         "hydra_server::SERVE_STATS_SCHEMA_VERSION",
         "crates/server/src/stats.rs",
+    ),
+    (
+        "hydra-profile-v1",
+        "hydra_profiler::PROFILE_SCHEMA_VERSION",
+        "crates/profiler/src/export.rs",
     ),
 ];
 
@@ -689,6 +701,15 @@ impl<'s> ScannedFile<'s> {
         self.crate_name() == Some("server")
     }
 
+    /// The timing layers own the wall clock: the deadline/stopwatch
+    /// primitives, the telemetry sink, and the profiler read it directly;
+    /// everything else takes a `Stopwatch` or an explicit `now` from its
+    /// caller so hot paths stay deterministic and replayable.
+    fn is_clock_layer(&self) -> bool {
+        self.rel == "crates/types/src/deadline.rs"
+            || matches!(self.crate_name(), Some("telemetry") | Some("profiler"))
+    }
+
     /// The lint engine itself carries the schema and rule tables.
     fn is_rule_registry(&self) -> bool {
         self.rel == "crates/analysis/src/lint.rs"
@@ -771,6 +792,26 @@ impl<'s> ScannedFile<'s> {
                         );
                     }
                 }
+            }
+
+            // clock-reads-layer: `Instant::now` / `SystemTime::now` outside
+            // the timing layers. Tests are exempt (timing a test is
+            // harmless); library hot paths must take time from the caller.
+            if !in_test
+                && tok.kind == TokenKind::Ident
+                && matches!(text, "Instant" | "SystemTime")
+                && self.ts.punct_seq(i + 1, "::")
+                && self.text(i + 3) == Some("now")
+                && !self.is_clock_layer()
+            {
+                self.emit(
+                    findings,
+                    "clock-reads-layer",
+                    tok.line,
+                    format!(
+                        "{text}::now() outside the timing layers (crates/telemetry, crates/profiler, crates/types/src/deadline.rs); take a hydra_types::deadline::Stopwatch or an explicit `now` from the caller"
+                    ),
+                );
             }
 
             // io-layer: Unix-socket types outside the daemon crate (test
@@ -1192,7 +1233,7 @@ struct SelfTestCase {
 
 const FORBID: &str = "#![forbid(unsafe_code)]\n";
 
-const SELF_TEST_CASES: [SelfTestCase; 11] = [
+const SELF_TEST_CASES: [SelfTestCase; 12] = [
     SelfTestCase {
         rule: "forbid-unsafe",
         files: &[("src/lib.rs", "pub fn f() {}\n")],
@@ -1237,6 +1278,13 @@ const SELF_TEST_CASES: [SelfTestCase; 11] = [
         files: &[(
             "src/lib.rs",
             "#![forbid(unsafe_code)]\nuse std::os::unix::net::UnixListener;\npub fn f(l: &UnixListener) -> bool { l.local_addr().is_ok() }\n",
+        )],
+    },
+    SelfTestCase {
+        rule: "clock-reads-layer",
+        files: &[(
+            "src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
         )],
     },
     SelfTestCase {

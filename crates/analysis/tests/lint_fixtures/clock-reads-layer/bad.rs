@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+pub fn wall_clock_micros() -> u128 {
+    let t0 = std::time::Instant::now();
+    let epoch = std::time::SystemTime::now();
+    let _ = epoch;
+    t0.elapsed().as_micros()
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+use std::time::Instant;
+
+/// Takes the clock reading from the caller instead of reading it inline,
+/// so the hot path stays deterministic and replayable.
+pub fn elapsed_micros(anchor: Instant, now: Instant) -> u64 {
+    u64::try_from(now.saturating_duration_since(anchor).as_micros()).unwrap_or(u64::MAX)
+}

@@ -1,8 +1,9 @@
 #![forbid(unsafe_code)]
 //! Rule triggers inside comments, doc comments and strings must never
 //! fire: x.unwrap(), println!("x"), std::thread::spawn(|| ()).
-// More bait: *count += 1, counter.wrapping_add(1), count as u8, and
-// std::panic::catch_unwind in a plain comment.
+// More bait: *count += 1, counter.wrapping_add(1), count as u8,
+// std::time::Instant::now(), and std::panic::catch_unwind in a plain
+// comment.
 pub fn f() -> &'static str {
     "strings mentioning .unwrap() and println! and catch_unwind are data"
 }

@@ -1,0 +1,129 @@
+//! The span identity: a span-instrumented tracker is bit-identical to a
+//! bare one, over arbitrary activation streams.
+//!
+//! This is the contract that lets the profiling instrumentation live
+//! permanently in the hot path: attaching a [`NoopProfiler`] (the
+//! default) — or even a live [`TreeProfiler`] — cannot change a single
+//! response or counter. A second property cross-checks the recorded call
+//! tree itself: spans are balanced, phases nest under `activate` /
+//! `window_reset` roots, and the per-phase self times obey the
+//! conservation identity the `hydra profile` harness asserts at runtime.
+
+use hydra_core::{Hydra, HydraConfig};
+use hydra_profiler::{phase, NoopProfiler, TreeProfiler};
+use hydra_types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
+use proptest::prelude::*;
+
+const T_H: u32 = 16;
+const T_G: u32 = 12;
+
+fn config() -> HydraConfig {
+    HydraConfig::builder(MemGeometry::tiny(), 0)
+        .thresholds(T_H, T_G)
+        .gct_entries(64)
+        .rcc_entries(16)
+        .rcc_ways(4)
+        .build()
+        .expect("valid test config")
+}
+
+/// Streams biased toward hammering (hot rows + group mates + reserved RCT
+/// rows) — the traffic that exercises every bracketed phase: GCT lookups,
+/// spills, RCC probes and fills, RCT reads/write-backs, RIT-ACT
+/// mitigations, and window resets.
+fn activation_sequence() -> impl Strategy<Value = Vec<RowAddr>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0u32..8).prop_map(|r| RowAddr::new(0, 0, 0, r)),
+            2 => (0u32..128).prop_map(|r| RowAddr::new(0, 0, 0, r)),
+            1 => (0u8..4, 0u32..1024).prop_map(|(b, r)| RowAddr::new(0, 0, b, r)),
+            1 => (0u8..4).prop_map(|b| RowAddr::new(0, 0, b, 1023)),
+        ],
+        0..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A `Hydra` carrying an explicit `NoopProfiler` — and one carrying a
+    /// live `TreeProfiler` — produce, for every activation and window
+    /// reset, exactly the responses and stats of the default (bare)
+    /// tracker.
+    #[test]
+    fn profiled_tracker_is_bit_identical(
+        sequence in activation_sequence(),
+        reset_every in 0usize..200,
+    ) {
+        let mut bare = Hydra::new(config()).expect("valid config");
+        let mut noop = Hydra::with_spans(config(), NoopProfiler).expect("valid config");
+        let mut live = Hydra::with_spans(config(), TreeProfiler::new()).expect("valid config");
+        // Sampling may only change what gets *recorded*, never what the
+        // tracker does — a sampled profiler must stay on the identity too.
+        let mut sampled =
+            Hydra::with_spans(config(), TreeProfiler::sampled(7)).expect("valid config");
+        for (i, &row) in sequence.iter().enumerate() {
+            if reset_every > 0 && i > 0 && i % reset_every == 0 {
+                bare.reset_window(i as u64);
+                noop.reset_window(i as u64);
+                live.reset_window(i as u64);
+                sampled.reset_window(i as u64);
+            }
+            let a = bare.on_activation(row, i as u64, ActivationKind::Demand);
+            let b = noop.on_activation(row, i as u64, ActivationKind::Demand);
+            let c = live.on_activation(row, i as u64, ActivationKind::Demand);
+            let d = sampled.on_activation(row, i as u64, ActivationKind::Demand);
+            prop_assert_eq!(&a, &b, "noop-profiler divergence at step {}", i);
+            prop_assert_eq!(&a, &c, "tree-profiler divergence at step {}", i);
+            prop_assert_eq!(&a, &d, "sampled-profiler divergence at step {}", i);
+        }
+        prop_assert_eq!(bare.stats(), noop.stats());
+        prop_assert_eq!(bare.stats(), live.stats());
+        prop_assert_eq!(bare.stats(), sampled.stats());
+    }
+
+    /// The recorded call tree is well-formed: every enter was matched by an
+    /// exit (no unbalanced spans, nothing left open), every span count is
+    /// accounted for under the two tracker roots, and the conservation
+    /// identity (per-phase self times sum to each enclosing span's total)
+    /// holds exactly.
+    #[test]
+    fn recorded_tree_is_balanced_and_conserves_time(
+        sequence in activation_sequence(),
+        reset_every in 0usize..200,
+    ) {
+        let mut h = Hydra::with_spans(config(), TreeProfiler::new()).expect("valid config");
+        let mut resets = 0u64;
+        for (i, &row) in sequence.iter().enumerate() {
+            if reset_every > 0 && i > 0 && i % reset_every == 0 {
+                h.reset_window(i as u64);
+                resets += 1;
+            }
+            h.on_activation(row, i as u64, ActivationKind::Demand);
+        }
+        let profiler = h.into_spans();
+        prop_assert_eq!(profiler.open_depth(), 0, "spans left open");
+        prop_assert_eq!(profiler.unbalanced_exits(), 0);
+        let tree = profiler.tree();
+        if let Err(e) = tree.check_conservation(0.0) {
+            return Err(TestCaseError::fail(e));
+        }
+        let activations = tree.roots.get(phase::ACTIVATE).map_or(0, |n| n.count);
+        prop_assert_eq!(activations, sequence.len() as u64);
+        let windows = tree.roots.get(phase::WINDOW_RESET).map_or(0, |n| n.count);
+        prop_assert_eq!(windows, resets);
+        // Only the seven tracker phases (under the two roots) may appear.
+        let activate_children: Vec<&str> = tree
+            .roots
+            .get(phase::ACTIVATE)
+            .map(|n| n.children.keys().map(String::as_str).collect())
+            .unwrap_or_default();
+        for child in activate_children {
+            prop_assert!(
+                phase::TRACKER_PHASES.contains(&child),
+                "unexpected phase under activate: {}",
+                child
+            );
+        }
+    }
+}

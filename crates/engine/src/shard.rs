@@ -23,6 +23,7 @@ use crate::pool::{CellOutcome, WorkerPool};
 use crate::EngineError;
 use hydra_core::{Hydra, HydraConfig, HydraStats};
 use hydra_dram::DramTiming;
+use hydra_profiler::{phase, ProfileTree, SpanSink, TreeProfiler};
 use hydra_sim::{ActivationSim, ActivationSimReport};
 use hydra_types::addr::RowAddr;
 use hydra_types::geometry::MemGeometry;
@@ -198,6 +199,81 @@ impl ShardedSim {
         }
         Ok(merge_shards(results))
     }
+
+    /// [`run_parallel`](Self::run_parallel) with per-worker span profiling:
+    /// each shard gets its own thread-local
+    /// [`TreeProfiler`](hydra_profiler::TreeProfiler) (the profiler handle
+    /// is deliberately not `Send`; only the exported [`ProfileTree`] crosses
+    /// threads), its tracker phases nest under a `shard` root span, and the
+    /// per-shard trees fold into one tree with the order-insensitive
+    /// [`ProfileTree::merge`] — commutative and associative by the proptest
+    /// in `hydra-profiler/tests/merge_laws.rs`, so the merged profile is
+    /// deterministic up to timing noise regardless of completion order.
+    ///
+    /// The simulation outcome is unaffected: the [`MergedRun`] is
+    /// bit-identical to the unprofiled paths on the same stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] under the same conditions as
+    /// [`run_parallel`](Self::run_parallel).
+    pub fn run_parallel_profiled(
+        &self,
+        pool: &WorkerPool,
+        rows: &[RowAddr],
+    ) -> Result<(MergedRun, ProfileTree), EngineError> {
+        let shards = self.partition_by_channel(rows);
+        let items: Vec<(HydraConfig, Vec<RowAddr>)> =
+            self.configs.iter().cloned().zip(shards).collect();
+        let geometry = self.geometry;
+        let timing = self.timing;
+        let outcomes = pool.run_ordered(items, move |_, (config, sub)| {
+            run_shard_profiled(geometry, timing, config, &sub)
+        });
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut profile = ProfileTree::new();
+        for (channel, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                CellOutcome::Done(Ok((result, tree))) => {
+                    results.push(result);
+                    profile.merge(&tree);
+                }
+                CellOutcome::Done(Err(e)) => {
+                    return Err(EngineError::new(format!("shard {channel} failed: {e}")));
+                }
+                CellOutcome::Panicked(msg) => {
+                    return Err(EngineError::new(format!("shard {channel} panicked: {msg}")));
+                }
+                CellOutcome::Skipped => {
+                    return Err(EngineError::new(format!("shard {channel} never ran")));
+                }
+            }
+        }
+        Ok((merge_shards(results), profile))
+    }
+
+    /// [`run_sequential`](Self::run_sequential) with span profiling — the
+    /// reference for [`run_parallel_profiled`](Self::run_parallel_profiled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if a shard's tracker cannot be built.
+    pub fn run_sequential_profiled(
+        &self,
+        rows: &[RowAddr],
+    ) -> Result<(MergedRun, ProfileTree), EngineError> {
+        let shards = self.partition_by_channel(rows);
+        let mut results = Vec::with_capacity(shards.len());
+        let mut profile = ProfileTree::new();
+        for (config, sub) in self.configs.iter().cloned().zip(shards) {
+            let channel = config.channel;
+            let (result, tree) = run_shard_profiled(self.geometry, self.timing, config, &sub)
+                .map_err(|e| EngineError::new(format!("shard {channel} failed: {e}")))?;
+            results.push(result);
+            profile.merge(&tree);
+        }
+        Ok((merge_shards(results), profile))
+    }
 }
 
 /// Splits `rows` into per-channel substreams, preserving arrival order
@@ -230,6 +306,36 @@ fn run_shard(
         report,
         mitigated,
     })
+}
+
+/// Replays one channel's substream through a fresh span-instrumented
+/// tracker, returning the shard result plus its profile tree. The
+/// [`TreeProfiler`] lives and dies on the calling (worker) thread; the
+/// bracketing `shard` root span makes each tracker phase's ancestry
+/// explicit in the folded export (`shard;activate;rcc_probe …`).
+fn run_shard_profiled(
+    geometry: MemGeometry,
+    timing: DramTiming,
+    config: HydraConfig,
+    rows: &[RowAddr],
+) -> Result<(ShardResult, ProfileTree), String> {
+    let channel = config.channel;
+    let profiler = TreeProfiler::new();
+    let tracker = Hydra::with_spans(config, profiler.clone()).map_err(|e| e.to_string())?;
+    let mut sim = ActivationSim::new(geometry, tracker).with_timing(timing);
+    let mut driver = profiler.clone();
+    driver.enter(phase::SHARD);
+    let report = sim.run(rows.iter().copied());
+    driver.exit(phase::SHARD);
+    let mitigated = sim.drain_mitigated();
+    let result = ShardResult {
+        channel,
+        shard_acts: rows.len() as u64,
+        stats: sim.tracker().stats(),
+        report,
+        mitigated,
+    };
+    Ok((result, profiler.tree()))
 }
 
 /// Merges shard results with order-insensitive reductions: shards are
@@ -366,6 +472,45 @@ mod tests {
         let mut reversed = seq.shards.clone();
         reversed.reverse();
         assert_eq!(merge_shards(reversed), seq);
+    }
+
+    #[test]
+    fn profiled_runs_match_unprofiled_bit_for_bit() {
+        let geometry = tiny2();
+        let sim = sharded(geometry);
+        let rows = interleaved_hammer(geometry, 6000);
+        let pool = WorkerPool::new(4);
+        let seq = match sim.run_sequential(&rows) {
+            Ok(s) => s,
+            Err(e) => panic!("sequential run: {e}"),
+        };
+        let (par_profiled, par_tree) = match sim.run_parallel_profiled(&pool, &rows) {
+            Ok(r) => r,
+            Err(e) => panic!("parallel profiled run: {e}"),
+        };
+        let (seq_profiled, seq_tree) = match sim.run_sequential_profiled(&rows) {
+            Ok(r) => r,
+            Err(e) => panic!("sequential profiled run: {e}"),
+        };
+        // Instrumentation changes nothing the merge can observe.
+        assert_eq!(par_profiled, seq);
+        assert_eq!(seq_profiled, seq);
+        // The merged tree has one `shard` root carrying every shard's spans
+        // (span counts are deterministic; only the timings are not).
+        for tree in [&par_tree, &seq_tree] {
+            let roots: Vec<&str> = tree.roots.keys().map(String::as_str).collect();
+            assert_eq!(roots, vec!["shard"]);
+            let shard = &tree.roots["shard"];
+            assert_eq!(shard.count, u64::from(geometry.channels()));
+            assert_eq!(
+                shard.children["activate"].count,
+                seq.report.total_ops(),
+                "one activate span per activation fed to any shard tracker"
+            );
+            if let Err(e) = tree.check_conservation(0.0) {
+                panic!("conservation: {e}");
+            }
+        }
     }
 
     #[test]

@@ -26,13 +26,13 @@ use hydra_dram::DramTiming;
 use hydra_sim::batch::{BatchConfig, BatchJob, BatchRunner, JobStatus};
 use hydra_sim::ActivationSim;
 use hydra_types::addr::RowAddr;
+use hydra_types::deadline::Stopwatch;
 use hydra_types::error::ConfigError;
 use hydra_types::geometry::MemGeometry;
 use hydra_workloads::attacks::AttackPattern;
 use hydra_workloads::registry;
 use hydra_workloads::TraceSource as _;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Version tag stamped on every `hydra sweep` JSONL line. This constant is
 /// the only place the literal may appear in library code (enforced by
@@ -252,9 +252,9 @@ impl SweepCell {
         let timing = DramTiming::ddr4_3200().with_scaled_window(WINDOW_SCALE);
         let mut sim = ActivationSim::new(self.geometry, tracker).with_timing(timing);
         let rows = self.rows()?;
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let report = sim.run(rows);
-        let wall_secs = start.elapsed().as_secs_f64();
+        let wall_secs = start.elapsed_nanos() as f64 / 1e9;
         let stats = sim.tracker().stats();
         Ok(SweepRow {
             workload: self.workload.clone(),

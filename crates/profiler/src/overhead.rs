@@ -1,0 +1,105 @@
+//! The profiler measuring itself: instrumented-on vs instrumented-off.
+
+use hydra_types::deadline::Stopwatch;
+
+/// Wall-clock comparison of the same deterministic work run profiled-off
+/// (`NoopProfiler`) and profiled-on (`TreeProfiler`). Attribution numbers
+/// are only honest when the instrument's own cost is on the table, so the
+/// `hydra profile` harness reports this with every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadReport {
+    /// Best (minimum) wall-clock nanoseconds of the profiled-off runs.
+    pub bare_nanos: u64,
+    /// Best (minimum) wall-clock nanoseconds of the profiled-on runs.
+    pub profiled_nanos: u64,
+}
+
+impl OverheadReport {
+    /// Runs `bare` and `profiled` alternately `repeats` times each (bare
+    /// first, so neither side systematically owns the warm cache) and
+    /// keeps the minimum wall clock per side — the estimator least
+    /// sensitive to scheduler noise, matching how the bench harness treats
+    /// repeat cells. One untimed warmup pair runs before the timed loop so
+    /// first-touch page faults and lazy allocations bill neither side.
+    pub fn measure<B, P>(repeats: u32, mut bare: B, mut profiled: P) -> OverheadReport
+    where
+        B: FnMut(),
+        P: FnMut(),
+    {
+        let repeats = repeats.max(1);
+        bare();
+        profiled();
+        let mut best_bare = u64::MAX;
+        let mut best_profiled = u64::MAX;
+        for _ in 0..repeats {
+            let sw = Stopwatch::start();
+            bare();
+            best_bare = best_bare.min(sw.elapsed_nanos());
+            let sw = Stopwatch::start();
+            profiled();
+            best_profiled = best_profiled.min(sw.elapsed_nanos());
+        }
+        OverheadReport {
+            bare_nanos: best_bare,
+            profiled_nanos: best_profiled,
+        }
+    }
+
+    /// Fractional slowdown of the profiled run: `(profiled − bare) / bare`,
+    /// clamped at zero when the profiled run happened to be faster (noise).
+    /// 0.10 means the instrumentation cost 10%.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.bare_nanos == 0 {
+            return 0.0;
+        }
+        self.profiled_nanos.saturating_sub(self.bare_nanos) as f64 / self.bare_nanos as f64
+    }
+
+    /// The overhead as a percentage, for display.
+    pub fn overhead_percent(&self) -> f64 {
+        self.overhead_fraction() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_deliberate_slowdown() {
+        let report = OverheadReport::measure(
+            3,
+            || {
+                let _ = std::hint::black_box((0..10_000u64).sum::<u64>());
+            },
+            || {
+                let _ = std::hint::black_box((0..10_000u64).sum::<u64>());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            },
+        );
+        assert!(report.profiled_nanos >= 2_000_000);
+        assert!(report.overhead_fraction() > 0.0);
+        assert!(report.overhead_percent() > 0.0);
+    }
+
+    #[test]
+    fn noise_never_reports_negative_overhead() {
+        let r = OverheadReport {
+            bare_nanos: 100,
+            profiled_nanos: 90,
+        };
+        assert_eq!(r.overhead_fraction(), 0.0);
+        let zero = OverheadReport {
+            bare_nanos: 0,
+            profiled_nanos: 10,
+        };
+        assert_eq!(zero.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn repeats_are_clamped_to_at_least_one() {
+        let r = OverheadReport::measure(0, || {}, || {});
+        assert_ne!(r.bare_nanos, u64::MAX);
+        assert_ne!(r.profiled_nanos, u64::MAX);
+    }
+}

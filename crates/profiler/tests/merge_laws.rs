@@ -1,0 +1,126 @@
+//! The algebra of [`ProfileTree::merge`] — the reduction `hydra-engine`
+//! leans on when folding per-worker profile trees — and the folded-stack
+//! round trip.
+//!
+//! Mirrors `stats_merge.rs` in `hydra-core`: merge must be commutative and
+//! associative with the empty tree as identity, so shard trees can be
+//! combined in *any completion order*. The folded export must parse back
+//! to exactly the per-stack self times it was rendered from, with the
+//! grand total preserved bit for bit.
+
+use hydra_profiler::{FoldedProfile, ProfileNode, ProfileTree};
+use proptest::prelude::*;
+
+const PHASES: [&str; 5] = ["activate", "rcc_probe", "spill", "sim", "window_reset"];
+
+/// One synthetic span record: a path into the tree plus aggregated span
+/// observations (`count` spans of `span_nanos` each).
+type Record = (Vec<u8>, u16, u32);
+
+/// Inserts a record, creating intermediate nodes as needed. Maintains the
+/// exported-tree invariants: `count == 0 ⇒ min == 0`, `min ≤ max`, and
+/// totals consistent with the per-span value.
+fn insert(tree: &mut ProfileTree, record: &Record) {
+    let (path, count, span_nanos) = record;
+    let count = u64::from(*count) + 1;
+    let span = u64::from(*span_nanos);
+    let mut segments = path.iter().map(|p| PHASES[*p as usize % PHASES.len()]);
+    let Some(first) = segments.next() else { return };
+    let mut node = tree
+        .roots
+        .entry(first.to_string())
+        .or_insert_with(ProfileNode::empty);
+    for seg in segments {
+        node = node
+            .children
+            .entry(seg.to_string())
+            .or_insert_with(ProfileNode::empty);
+    }
+    node.min_nanos = if node.count == 0 {
+        span
+    } else {
+        node.min_nanos.min(span)
+    };
+    node.count += count;
+    node.total_nanos += span * count;
+    node.max_nanos = node.max_nanos.max(span);
+}
+
+fn tree_strategy() -> impl Strategy<Value = ProfileTree> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u8..10, 1..4),
+            0u16..50,
+            0u32..1_000_000,
+        ),
+        0..12,
+    )
+    .prop_map(|records| {
+        let mut tree = ProfileTree::new();
+        for r in &records {
+            insert(&mut tree, r);
+        }
+        tree
+    })
+}
+
+fn merged(a: &ProfileTree, b: &ProfileTree) -> ProfileTree {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) == merge(b, a): worker completion order is irrelevant.
+    #[test]
+    fn merge_is_commutative(a in tree_strategy(), b in tree_strategy()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)): trees fold in any
+    /// grouping, e.g. as a reduction tree over shards.
+    #[test]
+    fn merge_is_associative(
+        a in tree_strategy(),
+        b in tree_strategy(),
+        c in tree_strategy(),
+    ) {
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    /// The empty tree is the identity element on both sides.
+    #[test]
+    fn empty_is_the_merge_identity(a in tree_strategy()) {
+        prop_assert_eq!(merged(&a, &ProfileTree::new()), a.clone());
+        prop_assert_eq!(merged(&ProfileTree::new(), &a), a);
+    }
+
+    /// Merging is counter-exact: totals and counts sum.
+    #[test]
+    fn merge_sums_totals(a in tree_strategy(), b in tree_strategy()) {
+        let m = merged(&a, &b);
+        prop_assert_eq!(m.total_nanos(), a.total_nanos() + b.total_nanos());
+        let count = |t: &ProfileTree| -> u64 {
+            fn walk(n: &ProfileNode) -> u64 {
+                n.count + n.children.values().map(walk).sum::<u64>()
+            }
+            t.roots.values().map(walk).sum()
+        };
+        prop_assert_eq!(count(&m), count(&a) + count(&b));
+    }
+
+    /// Folded round trip: parsing the rendered folded output recovers the
+    /// exact per-stack self times (and therefore the exact total).
+    #[test]
+    fn folded_round_trip_preserves_totals(a in tree_strategy()) {
+        let text = a.to_folded();
+        let parsed = FoldedProfile::parse(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(&parsed, &FoldedProfile::from_tree(&a));
+        prop_assert_eq!(parsed.total_nanos(), a.total_self_nanos());
+    }
+}

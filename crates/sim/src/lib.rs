@@ -58,7 +58,9 @@ pub use core::CoreModel;
 pub use fastsim::{ActivationSim, ActivationSimReport};
 pub use histogram::LatencyHistogram;
 pub use llc::SharedLlc;
-pub use metrics::{run_windowed, LatencySummary, StatsSource, WindowRecord, WindowSeries};
+pub use metrics::{
+    run_windowed, run_windowed_profiled, LatencySummary, StatsSource, WindowRecord, WindowSeries,
+};
 pub use rowswap::RowIndirection;
 pub use stats::{geometric_mean, SimResult};
 pub use system::SystemSim;

@@ -116,6 +116,23 @@ impl Stopwatch {
     pub fn elapsed_micros(&self) -> u64 {
         self.elapsed_micros_at(Instant::now())
     }
+
+    /// Whole nanoseconds elapsed at `now`, saturating at zero for
+    /// backwards steps and at `u64::MAX` for absurd spans (584 years).
+    ///
+    /// The profiling plane (`hydra_profiler`) needs this resolution:
+    /// tracker inner-loop phases run tens of nanoseconds, which the
+    /// microsecond quantization of [`elapsed_micros_at`](Self::elapsed_micros_at)
+    /// would truncate to zero.
+    pub fn elapsed_nanos_at(&self, now: Instant) -> u64 {
+        let nanos = now.saturating_duration_since(self.start).as_nanos();
+        nanos.min(u64::MAX as u128) as u64
+    }
+
+    /// Whole nanoseconds elapsed now.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.elapsed_nanos_at(Instant::now())
+    }
 }
 
 /// A latching idle watchdog over a [`Deadline`]: fires exactly once per
@@ -260,6 +277,20 @@ mod tests {
         );
         // Sub-microsecond remainders truncate (quantized sampling).
         assert_eq!(sw.elapsed_micros_at(t0 + Duration::from_nanos(2_900)), 2);
+    }
+
+    #[test]
+    fn stopwatch_nanos_keep_sub_micro_resolution() {
+        let t0 = Instant::now();
+        let sw = Stopwatch::starting_at(t0 + Duration::from_secs(1));
+        // Backwards clock saturates to zero, never panics.
+        assert_eq!(sw.elapsed_nanos_at(t0), 0);
+        let sw = Stopwatch::starting_at(t0);
+        assert_eq!(sw.elapsed_nanos_at(t0), 0);
+        // The sub-microsecond remainder the micro query truncates survives.
+        assert_eq!(sw.elapsed_nanos_at(t0 + Duration::from_nanos(37)), 37);
+        assert_eq!(sw.elapsed_micros_at(t0 + Duration::from_nanos(37)), 0);
+        assert_eq!(sw.elapsed_nanos_at(t0 + Duration::from_nanos(2_900)), 2_900);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! hydra replay FILE                     # reproduce a failed run from its artifact
 //! hydra bench [--smoke] [flags]         # workload×geometry matrix → BENCH_hydra.json
 //! hydra bench --compare OLD.json [...]  # regression diff against a baseline report
+//! hydra profile [flags]                 # per-phase time attribution + folded stacks
 //! hydra trace PATTERN [ACTS] [flags]    # JSONL telemetry event stream to stdout
 //! hydra forensics FILE [--t-h N]        # classify a recorded trace, emit incidents
 //! hydra sweep [--smoke] [--jobs N]      # design-space sweep → hydra-sweep-v1 JSONL
@@ -31,10 +32,13 @@ use hydra_repro::forensics::{
     compare_reports, incidents_to_jsonl, parse_bench_report, parse_trace_meta, replay_trace,
     CompareConfig, ForensicsProbe, BENCH_SCHEMA_VERSION_V2,
 };
+use hydra_repro::profiler::{phase, OverheadReport, ProfileNode, ProfileTree, TreeProfiler};
 use hydra_repro::server::stats::names as metric_names;
 use hydra_repro::server::{replay_check, run_load, Client, LoadConfig, ServeConfig, StatsReading};
 use hydra_repro::sim::batch::{BatchConfig, BatchJob, BatchRunner, JobStatus};
-use hydra_repro::sim::{run_windowed, ActivationSim, WindowSeries};
+use hydra_repro::sim::{
+    run_windowed, run_windowed_profiled, ActivationSim, ActivationSimReport, WindowSeries,
+};
 use hydra_repro::telemetry::json::escape_into;
 use hydra_repro::telemetry::{EventKind, JsonlSink, KindFilterSink, TeeSink};
 use hydra_repro::types::{ActivationKind, ActivationTracker, MemGeometry, RowAddr};
@@ -56,6 +60,7 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("forensics") => cmd_forensics(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
@@ -65,7 +70,7 @@ fn main() -> ExitCode {
         Some("replay-session") => cmd_replay_session(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|trace|forensics|sweep|serve|load|top|replay-session> [args]"
+                "usage: hydra <storage|list|characterize|audit|record|hammer|batch|replay|bench|profile|trace|forensics|sweep|serve|load|top|replay-session> [args]"
             );
             eprintln!("  storage                      print the paper's storage tables");
             eprintln!("  list                         list the 36 registered workloads");
@@ -80,7 +85,7 @@ fn main() -> ExitCode {
             eprintln!("        [--watchdog-ms MS] [--retries N] [--force-failure]");
             eprintln!("                               fault campaign under the batch harness");
             eprintln!("  replay <file>                reproduce a run from its replay artifact");
-            eprintln!("  bench [--smoke] [--out FILE] [--acts N] [--repeats N]");
+            eprintln!("  bench [--smoke] [--out FILE] [--acts N] [--repeats N] [--profile]");
             eprintln!(
                 "                               throughput/slowdown matrix → BENCH_hydra.json"
             );
@@ -88,6 +93,14 @@ fn main() -> ExitCode {
             eprintln!("        [--gate-throughput]    diff against a baseline; nonzero exit on");
             eprintln!(
                 "                               regression (runs fresh cells unless --against)"
+            );
+            eprintln!("  profile [--workload W] [--geometry G] [--acts N] [--smoke]");
+            eprintln!("          [--out FILE] [--folded FILE] [--repeats N]");
+            eprintln!(
+                "                               per-phase time attribution: table on stdout,"
+            );
+            eprintln!(
+                "                               hydra-profile-v1 JSON + folded stacks to files"
             );
             eprintln!("  trace <pattern> [acts] [--kinds K1,K2,..] [--limit N] [--forensics]");
             eprintln!("                               stream telemetry events as JSONL");
@@ -499,6 +512,32 @@ fn bench_geometry(name: &str) -> Result<MemGeometry, String> {
     }
 }
 
+/// The deterministic row stream for one bench/profile cell: either a
+/// registered workload or an attack pattern; the attack cells are what
+/// make slowdown and mitigations nonzero.
+fn bench_rows(
+    workload: &str,
+    geom: MemGeometry,
+    acts: u64,
+    seed: u64,
+) -> Result<Vec<RowAddr>, String> {
+    if let Some(spec) = registry::by_name(workload) {
+        let mut trace = spec.build(geom, 256, seed);
+        Ok((0..acts)
+            .map(|_| geom.row_of_line(trace.next_op().addr))
+            .collect())
+    } else {
+        let mut rows = parse_pattern(workload, geom)?.rows(geom);
+        Ok((0..acts)
+            .map(|_| {
+                let mut row = rows.next_row();
+                row.channel = 0;
+                row
+            })
+            .collect())
+    }
+}
+
 /// One bench cell run under the batch harness (panic isolation, watchdog,
 /// retries), so a wedged cell cannot take the whole matrix down.
 struct BenchCellJob {
@@ -518,23 +557,7 @@ impl BatchJob for BenchCellJob {
 
     fn run(&self, _attempt: u32) -> Result<BenchCell, String> {
         let geom = bench_geometry(&self.geometry)?;
-        // A cell is either a registered workload or an attack pattern; the
-        // attack cells are what make slowdown and mitigations nonzero.
-        let rows: Vec<RowAddr> = if let Some(spec) = registry::by_name(&self.workload) {
-            let mut trace = spec.build(geom, 256, self.seed);
-            (0..self.acts)
-                .map(|_| geom.row_of_line(trace.next_op().addr))
-                .collect()
-        } else {
-            let mut rows = parse_pattern(&self.workload, geom)?.rows(geom);
-            (0..self.acts)
-                .map(|_| {
-                    let mut row = rows.next_row();
-                    row.channel = 0;
-                    row
-                })
-                .collect()
-        };
+        let rows = bench_rows(&self.workload, geom, self.acts, self.seed)?;
 
         // Each repeat replays the same deterministic row stream through a
         // fresh tracker, so the simulated columns are identical across
@@ -641,6 +664,252 @@ fn bench_json(smoke: bool, acts: u64, cells: &[BenchCell], failures: &[String]) 
     out
 }
 
+/// Default sampling period for the profile harness: prime, so it cannot
+/// resonate with the small periodicities of the attack-pattern streams, and
+/// large enough that recorded-unit clock reads stay well under the
+/// documented overhead budget (the suppressed path costs a few `Cell` ops).
+const PROFILE_SAMPLE_PERIOD: u32 = 127;
+
+/// One profiled replay of a cell: a fresh tracker wired to a
+/// [`TreeProfiler`] through the span seam, driven by the profiled windowed
+/// runner so the tracker's phase spans nest under one `sim` root.
+fn profiled_cell_run(
+    config: &HydraConfig,
+    geom: MemGeometry,
+    rows: &[RowAddr],
+    sample: u32,
+) -> Result<(ProfileTree, ActivationSimReport), String> {
+    let profiler = TreeProfiler::sampled(sample);
+    let tracker = Hydra::with_spans(config.clone(), profiler.clone()).map_err(|e| e.to_string())?;
+    let timing = DramTiming::ddr4_3200().with_scaled_window(1_000);
+    let mut sim = ActivationSim::new(geom, tracker).with_timing(timing);
+    let mut series = WindowSeries::new();
+    let mut driver = profiler.clone();
+    let report = run_windowed_profiled(&mut sim, rows.iter().copied(), &mut series, &mut driver);
+    Ok((profiler.tree(), report))
+}
+
+/// Config for the default `profile` stream: a deliberately under-sized
+/// 4-way/16-set RCC and low thresholds, so a short run arms per-row
+/// tracking and then keeps every tracker phase firing in every window.
+/// `isca22_default` on the tiny geometry can never evict from the RCC
+/// (4096 rows over 256 sets × 16 ways holds the whole channel), so the
+/// `rct_access` refetch path would stay dark under it.
+fn coverage_config(geom: MemGeometry) -> Result<HydraConfig, String> {
+    let rows = geom.rows_per_channel() as usize;
+    let mut b = HydraConfig::builder(geom, 0);
+    b.thresholds(24, 16)
+        .gct_entries(rows) // one row per group: spills install single rows
+        .rcc_entries(64)
+        .rcc_ways(4);
+    b.build().map_err(|e| e.to_string())
+}
+
+/// The default `profile` stream for [`coverage_config`]: 33 rows that all
+/// collide in one 4-way RCC set (static indexer, 16 sets: set = row & 15)
+/// interleaved with a resident two-row pair in another set. Once armed
+/// past T_G the conflict rotation misses the RCC on every access — probe
+/// miss, RCT fetch, fill + eviction writeback — while the pair keeps the
+/// hit path and its fast mitigations warm.
+fn coverage_rows(acts: u64) -> Vec<RowAddr> {
+    let conflict: Vec<u32> = (0..33).map(|i| i * 16).collect();
+    let pair = [1u32, 17];
+    let mut out = Vec::with_capacity(acts as usize);
+    let mut j = 0usize;
+    for i in 0..acts {
+        let row = if i % 4 == 3 {
+            pair[(i / 4) as usize % 2]
+        } else {
+            j += 1;
+            conflict[j % conflict.len()]
+        };
+        out.push(RowAddr::new(0, 0, 0, row));
+    }
+    out
+}
+
+/// Self-time per phase name, summed across every depth of the tree, so a
+/// phase's attribution is the same whether it ran under `sim` directly or
+/// nested inside `activate`.
+fn phase_self_nanos(tree: &ProfileTree) -> HashMap<String, u64> {
+    fn walk(name: &str, node: &ProfileNode, out: &mut HashMap<String, u64>) {
+        *out.entry(name.to_string()).or_insert(0) += node.self_nanos();
+        for (child_name, child) in &node.children {
+            walk(child_name, child, out);
+        }
+    }
+    let mut out = HashMap::new();
+    for (name, node) in &tree.roots {
+        walk(name, node, &mut out);
+    }
+    out
+}
+
+/// Total (cumulative) time per phase name, summed across every depth.
+fn phase_total_nanos(tree: &ProfileTree) -> HashMap<String, u64> {
+    fn walk(name: &str, node: &ProfileNode, out: &mut HashMap<String, u64>) {
+        *out.entry(name.to_string()).or_insert(0) += node.total_nanos;
+        for (child_name, child) in &node.children {
+            walk(child_name, child, out);
+        }
+    }
+    let mut out = HashMap::new();
+    for (name, node) in &tree.roots {
+        walk(name, node, &mut out);
+    }
+    out
+}
+
+/// One-line per-cell attribution: each tracker phase's self-time share of
+/// the *recorded tracker time* (`activate` + `window_reset` spans). Using
+/// recorded tracker time — not the whole run — keeps the shares meaningful
+/// under sampling, where suppressed activations leave the driver span's
+/// self-time inflated by design.
+fn render_phase_columns(tree: &ProfileTree) -> String {
+    use std::fmt::Write as _;
+    let totals = phase_total_nanos(tree);
+    let tracked = totals.get(phase::ACTIVATE).copied().unwrap_or(0)
+        + totals.get(phase::WINDOW_RESET).copied().unwrap_or(0);
+    let tracked = tracked.max(1) as f64;
+    let self_times = phase_self_nanos(tree);
+    let mut out = String::from("phases:");
+    for name in phase::TRACKER_PHASES {
+        let nanos = self_times.get(name).copied().unwrap_or(0);
+        let _ = write!(out, " {name} {:.1}%", nanos as f64 / tracked * 100.0);
+    }
+    out
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut workload = String::from("mix");
+    let mut geometry = String::from("tiny");
+    let mut acts_override: Option<u64> = None;
+    let mut smoke = false;
+    let mut out = PathBuf::from("PROFILE_hydra.json");
+    let mut folded_out: Option<PathBuf> = None;
+    let mut repeats: u32 = 9;
+    let mut sample: u32 = PROFILE_SAMPLE_PERIOD;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--sample" => {
+                i += 1;
+                sample = args
+                    .get(i)
+                    .ok_or("--sample needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --sample")?;
+                if sample == 0 {
+                    return Err("--sample must be at least 1".into());
+                }
+            }
+            "--workload" => {
+                i += 1;
+                workload = args.get(i).ok_or("--workload needs a value")?.clone();
+            }
+            "--geometry" => {
+                i += 1;
+                geometry = args.get(i).ok_or("--geometry needs a value")?.clone();
+            }
+            "--acts" => {
+                i += 1;
+                acts_override = Some(
+                    args.get(i)
+                        .ok_or("--acts needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --acts")?,
+                );
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).ok_or("--out needs a value")?);
+            }
+            "--folded" => {
+                i += 1;
+                folded_out = Some(PathBuf::from(args.get(i).ok_or("--folded needs a value")?));
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args
+                    .get(i)
+                    .ok_or("--repeats needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --repeats")?;
+                if repeats == 0 {
+                    return Err("--repeats must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown profile flag {other}")),
+        }
+        i += 1;
+    }
+    let acts = acts_override.unwrap_or(if smoke { 20_000 } else { 200_000 });
+
+    let geom = bench_geometry(&geometry)?;
+    let (config, rows) = if workload == "mix" {
+        if geometry != "tiny" {
+            return Err("the mix stream is defined for --geometry tiny only".into());
+        }
+        (coverage_config(geom)?, coverage_rows(acts))
+    } else {
+        let config = HydraConfig::isca22_default(geom, 0).map_err(|e| e.to_string())?;
+        (config, bench_rows(&workload, geom, acts, 42)?)
+    };
+    println!("profile: {workload}/{geometry}, {acts} acts, sample 1/{sample}");
+
+    // The attributed run. Self-times are derived (total minus children),
+    // so conservation holds exactly per node; the 5% tolerance here only
+    // guards the harness against a future profiler regression.
+    let (tree, report) = profiled_cell_run(&config, geom, &rows, sample)?;
+    tree.check_conservation(0.05)
+        .map_err(|e| format!("span time conservation violated: {e}"))?;
+
+    // The profiler measuring itself on the same deterministic stream. The
+    // bare leg also proves the profiled run changed no simulated outcome.
+    let mut bare_report: Option<ActivationSimReport> = None;
+    let overhead = OverheadReport::measure(
+        repeats,
+        || {
+            let tracker = Hydra::new(config.clone()).expect("validated config");
+            let timing = DramTiming::ddr4_3200().with_scaled_window(1_000);
+            let mut sim = ActivationSim::new(geom, tracker).with_timing(timing);
+            let mut series = WindowSeries::new();
+            bare_report = Some(run_windowed(&mut sim, rows.iter().copied(), &mut series));
+        },
+        || {
+            profiled_cell_run(&config, geom, &rows, sample).expect("profiled run");
+        },
+    );
+    if bare_report != Some(report) {
+        return Err("profiled run diverged from the unprofiled run".into());
+    }
+
+    print!("{}", tree.render_table());
+    println!("{}", render_phase_columns(&tree));
+    println!(
+        "overhead: {:.2}% (bare {:.3} ms, profiled {:.3} ms, best of {repeats})",
+        overhead.overhead_percent(),
+        overhead.bare_nanos as f64 / 1e6,
+        overhead.profiled_nanos as f64 / 1e6,
+    );
+
+    let extra = format!(
+        "\"workload\":\"{workload}\",\"geometry\":\"{geometry}\",\"acts\":{acts},\
+         \"sample_period\":{sample},\"overhead_pct\":{:.3},",
+        overhead.overhead_percent()
+    );
+    std::fs::write(&out, tree.to_json_with(&extra))
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("profile: wrote {}", out.display());
+    if let Some(path) = &folded_out {
+        std::fs::write(path, tree.to_folded()).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("profile: wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
     let mut out = PathBuf::from("BENCH_hydra.json");
@@ -651,11 +920,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut gate_throughput = false;
     let mut bench_jobs: usize = 1;
     let mut repeats: u64 = 1;
+    let mut profile = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--profile" => profile = true,
             "--repeats" => {
                 i += 1;
                 repeats = args
@@ -790,6 +1061,26 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                         "{}: window delta sum != cumulative stats",
                         job.label
                     ));
+                }
+                // Phase attribution is a separate profiled replay of the
+                // same deterministic stream: the matrix cells above (and
+                // the JSON written below) stay byte-identical to an
+                // unprofiled run.
+                if profile {
+                    let attribution = bench_geometry(&cell.geometry)
+                        .and_then(|geom| {
+                            let config =
+                                HydraConfig::isca22_default(geom, 0).map_err(|e| e.to_string())?;
+                            let rows = bench_rows(&cell.workload, geom, acts, 42)?;
+                            profiled_cell_run(&config, geom, &rows, PROFILE_SAMPLE_PERIOD)
+                        })
+                        .map(|(tree, _)| tree);
+                    match attribution {
+                        Ok(tree) => {
+                            println!("  {:<16} {}", "", render_phase_columns(&tree));
+                        }
+                        Err(e) => println!("  {:<16} profile failed: {e}", ""),
+                    }
                 }
                 cells.push(cell.clone());
             }

@@ -11,6 +11,7 @@
 //! * [`engine`] — worker pool, sharded multi-channel simulation, design-space sweeps
 //! * [`faults`] — deterministic fault injection around the tracker
 //! * [`forensics`] — attack attribution, window classification, incident reports
+//! * [`profiler`] — zero-cost span seam, per-phase call-tree time attribution
 //! * [`server`] — Hydra-as-a-service: multi-tenant activation daemon over
 //!   Unix sockets, adversarial load client, session record/replay
 //! * [`sim`] — memory controller, LLC, core model, system simulator, batch harness
@@ -26,6 +27,7 @@ pub use hydra_dram as dram;
 pub use hydra_engine as engine;
 pub use hydra_faults as faults;
 pub use hydra_forensics as forensics;
+pub use hydra_profiler as profiler;
 pub use hydra_server as server;
 pub use hydra_sim as sim;
 pub use hydra_telemetry as telemetry;
