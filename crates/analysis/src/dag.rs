@@ -89,6 +89,10 @@ pub const CRATE_DAG: &[CrateLayer] = &[
         deps: &["types", "telemetry", "baselines"],
     },
     CrateLayer {
+        name: "arena",
+        deps: &["types", "dram", "baselines", "core", "sim", "workloads"],
+    },
+    CrateLayer {
         name: "server",
         deps: &[
             "types",

@@ -19,6 +19,9 @@
 //!    activation counts, and records a structured [`oracle::Violation`]
 //!    whenever the wrapped tracker lets a row cross the Row-Hammer
 //!    threshold unmitigated or mitigates a row that was never activated.
+//!    (The implementation lives in [`hydra_sim::oracle`] — the simulator
+//!    layer — so the `hydra-arena` leaderboard can sanitize every tracker
+//!    it races; this crate re-exports it unchanged.)
 //!
 //! 3. [`lint`] — a **syntax-aware repository lint gate**: a hand-rolled
 //!    Rust lexer ([`lex`]) feeds a token-based rule engine enforcing
@@ -70,8 +73,9 @@ pub mod faults;
 pub mod fixtures;
 pub mod lex;
 pub mod lint;
-pub mod oracle;
+
+pub use hydra_sim::oracle;
 
 pub use audit::{audit_hydra, AuditCheck, AuditReport, SecurityVerdict};
 pub use faults::{degradation_table, run_case, FaultCaseReport, FaultCaseSpec};
-pub use oracle::{OracleReport, ShadowOracle, Violation, ViolationKind};
+pub use hydra_sim::oracle::{OracleReport, ShadowOracle, Violation, ViolationKind};

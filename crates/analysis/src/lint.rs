@@ -289,7 +289,7 @@ fn json_str(s: &str) -> String {
 /// (literal, constant to import, workspace-relative defining file). The
 /// defining file is the only library source allowed to spell the literal
 /// out; this table (and the engine source carrying it) is exempt.
-pub const SCHEMA_LITERALS: [(&str, &str, &str); 8] = [
+pub const SCHEMA_LITERALS: [(&str, &str, &str); 9] = [
     (
         "hydra-trace-v1",
         "hydra_telemetry::TRACE_SCHEMA_VERSION",
@@ -329,6 +329,11 @@ pub const SCHEMA_LITERALS: [(&str, &str, &str); 8] = [
         "hydra-profile-v1",
         "hydra_profiler::PROFILE_SCHEMA_VERSION",
         "crates/profiler/src/export.rs",
+    ),
+    (
+        "hydra-arena-v1",
+        "hydra_arena::ARENA_SCHEMA_VERSION",
+        "crates/arena/src/leaderboard.rs",
     ),
 ];
 

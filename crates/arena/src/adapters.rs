@@ -1,0 +1,384 @@
+//! [`Tracker`] adapters over the trackers this workspace already ships:
+//! Hydra (`hydra-core`) and the Graphene/CRA/PARA/TRR baselines
+//! (`hydra-baselines`).
+//!
+//! Every adapter is a thin delegating shim: `activate` forwards to the
+//! wrapped tracker's [`ActivationTracker::on_activation`] and moves the
+//! response's vectors into the [`TrackerDecision`] without copying, so an
+//! adapter run is call-for-call identical to a concrete run (the
+//! equivalence proptest in `tests/adapter_equivalence.rs` pins this down
+//! for Hydra — the path every existing gate depends on).
+
+use crate::tracker::{ActStats, Tracker, TrackerDecision};
+use hydra_baselines::{Cra, CraConfig, Graphene, GrapheneConfig, Para, VendorTrr};
+use hydra_core::{Hydra, HydraConfig, HydraStorage};
+use hydra_types::{ActivationKind, ActivationTracker, ConfigError, MemCycle, MemGeometry, RowAddr};
+
+/// The Hydra hybrid tracker as an arena contender.
+#[derive(Debug, Clone)]
+pub struct HydraTracker {
+    inner: Hydra,
+    params: String,
+    sram_bytes: u64,
+}
+
+impl HydraTracker {
+    /// Builds a Hydra instance from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is rejected.
+    pub fn new(config: HydraConfig) -> Result<Self, ConfigError> {
+        let params = format!(
+            "t_h={} t_g={} gct={} rcc={}",
+            config.t_h, config.t_g, config.gct_entries, config.rcc_entries
+        );
+        let sram_bytes = HydraStorage::for_instance(&config).total_sram_bytes();
+        Ok(HydraTracker {
+            inner: Hydra::new(config)?,
+            params,
+            sram_bytes,
+        })
+    }
+
+    /// The wrapped tracker.
+    pub fn inner(&self) -> &Hydra {
+        &self.inner
+    }
+}
+
+impl Tracker for HydraTracker {
+    fn activate(&mut self, row: RowAddr, now: MemCycle, kind: ActivationKind) -> TrackerDecision {
+        let response = self.inner.on_activation(row, now, kind);
+        TrackerDecision::from_response(response, ActStats::default())
+    }
+
+    fn window_reset(&mut self, now: MemCycle) {
+        self.inner.reset_window(now);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn params(&self) -> String {
+        self.params.clone()
+    }
+
+    fn sram_bits(&self) -> u64 {
+        self.sram_bytes.saturating_mul(8)
+    }
+
+    fn max_spillover(&self) -> u64 {
+        // GCT group counts over-attribute per-row activity by design; the
+        // number of group spills bounds how often that slack bit.
+        self.inner.stats().group_spills
+    }
+}
+
+/// Graphene (Misra-Gries per bank) as an arena contender.
+#[derive(Debug, Clone)]
+pub struct GrapheneTracker {
+    inner: Graphene,
+    params: String,
+}
+
+impl GrapheneTracker {
+    /// Builds a Graphene instance sized for `t_rh` against a worst case of
+    /// `act_max_per_bank` activations per bank per window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for a bad channel or degenerate threshold.
+    pub fn for_threshold(
+        geometry: MemGeometry,
+        channel: u8,
+        t_rh: u32,
+        act_max_per_bank: u64,
+    ) -> Result<Self, ConfigError> {
+        let config = GrapheneConfig::for_threshold(geometry, channel, t_rh, act_max_per_bank)?;
+        let params = format!(
+            "threshold={} entries_per_bank={}",
+            config.threshold, config.entries_per_bank
+        );
+        Ok(GrapheneTracker {
+            inner: Graphene::new(config),
+            params,
+        })
+    }
+}
+
+impl Tracker for GrapheneTracker {
+    fn activate(&mut self, row: RowAddr, now: MemCycle, kind: ActivationKind) -> TrackerDecision {
+        let response = self.inner.on_activation(row, now, kind);
+        TrackerDecision::from_response(response, ActStats::default())
+    }
+
+    fn window_reset(&mut self, now: MemCycle) {
+        self.inner.reset_window(now);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn params(&self) -> String {
+        self.params.clone()
+    }
+
+    fn sram_bits(&self) -> u64 {
+        self.inner.sram_bytes().saturating_mul(8)
+    }
+
+    fn max_spillover(&self) -> u64 {
+        self.inner.max_spillover()
+    }
+}
+
+/// CRA (per-row DRAM counters behind an SRAM counter cache) as an arena
+/// contender.
+#[derive(Debug, Clone)]
+pub struct CraTracker {
+    inner: Cra,
+    params: String,
+}
+
+impl CraTracker {
+    /// Builds a CRA instance sized for `t_rh` with `total_cache_bytes` of
+    /// counter cache split across channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for a bad channel or degenerate cache.
+    pub fn for_threshold(
+        geometry: MemGeometry,
+        channel: u8,
+        t_rh: u32,
+        total_cache_bytes: usize,
+    ) -> Result<Self, ConfigError> {
+        let config = CraConfig::for_threshold(geometry, channel, t_rh, total_cache_bytes)?;
+        let params = format!(
+            "threshold={} cache_bytes={}",
+            config.threshold, config.cache_bytes
+        );
+        Ok(CraTracker {
+            inner: Cra::new(config)?,
+            params,
+        })
+    }
+}
+
+impl Tracker for CraTracker {
+    fn activate(&mut self, row: RowAddr, now: MemCycle, kind: ActivationKind) -> TrackerDecision {
+        let response = self.inner.on_activation(row, now, kind);
+        TrackerDecision::from_response(response, ActStats::default())
+    }
+
+    fn window_reset(&mut self, now: MemCycle) {
+        self.inner.reset_window(now);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn params(&self) -> String {
+        self.params.clone()
+    }
+
+    fn sram_bits(&self) -> u64 {
+        self.inner.sram_bytes().saturating_mul(8)
+    }
+}
+
+/// PARA (stateless probabilistic mitigation) as an arena contender.
+#[derive(Debug, Clone)]
+pub struct ParaTracker {
+    inner: Para,
+    params: String,
+}
+
+impl ParaTracker {
+    /// Builds a PARA instance whose per-activation mitigation probability
+    /// targets failure probability `p_fail` per aggressor at `t_rh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for a degenerate threshold or probability.
+    pub fn for_threshold(t_rh: u32, p_fail: f64, seed: u64) -> Result<Self, ConfigError> {
+        let inner = Para::for_threshold(t_rh, p_fail, seed)?;
+        let params = format!(
+            "p={:.6} p_fail={:e} seed={}",
+            inner.probability(),
+            p_fail,
+            seed
+        );
+        Ok(ParaTracker { inner, params })
+    }
+}
+
+impl Tracker for ParaTracker {
+    fn activate(&mut self, row: RowAddr, now: MemCycle, kind: ActivationKind) -> TrackerDecision {
+        let response = self.inner.on_activation(row, now, kind);
+        TrackerDecision::from_response(response, ActStats::default())
+    }
+
+    fn window_reset(&mut self, now: MemCycle) {
+        self.inner.reset_window(now);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn params(&self) -> String {
+        self.params.clone()
+    }
+
+    fn sram_bits(&self) -> u64 {
+        0
+    }
+}
+
+/// Vendor-style TRR as an arena contender.
+///
+/// The shipped [`VendorTrr`] is deliberately weak (1–16 tracked rows, the
+/// TRRespass narrative). The arena provisions it with enough per-bank
+/// entries to track *every* distinct row a window can produce — the only
+/// way a first-come sampler meets the security contract — so the
+/// leaderboard shows what honest TRR actually costs in SRAM.
+#[derive(Debug, Clone)]
+pub struct TrrTracker {
+    inner: VendorTrr,
+    params: String,
+}
+
+impl TrrTracker {
+    /// Builds a TRR sampler mitigating at `t_rh / 2` with `capacity`
+    /// tracked rows per bank.
+    ///
+    /// For the sampler to be sound, `capacity` must cover every distinct
+    /// row one window can activate in a bank; the roster derives it from
+    /// the timing's activations-per-window bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero capacity/threshold or a bad channel.
+    pub fn provisioned(
+        geometry: MemGeometry,
+        channel: u8,
+        t_rh: u32,
+        capacity: usize,
+    ) -> Result<Self, ConfigError> {
+        let threshold = (t_rh / 2).max(1);
+        let inner = VendorTrr::new(geometry, channel, threshold, capacity)?;
+        let params = format!("threshold={threshold} capacity={capacity}");
+        Ok(TrrTracker { inner, params })
+    }
+
+    /// Activations the sampler failed to observe (0 when provisioned
+    /// soundly).
+    pub fn escaped_activations(&self) -> u64 {
+        self.inner.escaped_activations()
+    }
+}
+
+impl Tracker for TrrTracker {
+    fn activate(&mut self, row: RowAddr, now: MemCycle, kind: ActivationKind) -> TrackerDecision {
+        let response = self.inner.on_activation(row, now, kind);
+        TrackerDecision::from_response(response, ActStats::default())
+    }
+
+    fn window_reset(&mut self, now: MemCycle) {
+        self.inner.reset_window(now);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn params(&self) -> String {
+        self.params.clone()
+    }
+
+    fn sram_bits(&self) -> u64 {
+        self.inner.sram_bytes().saturating_mul(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_types::ActivationKind::Demand;
+
+    #[test]
+    fn hydra_adapter_matches_concrete_hydra_call_for_call() {
+        let geometry = MemGeometry::tiny();
+        let config = match HydraConfig::builder(geometry, 0)
+            .thresholds(16, 12)
+            .gct_entries(64)
+            .rcc_entries(32)
+            .build()
+        {
+            Ok(c) => c,
+            Err(e) => panic!("config: {e}"),
+        };
+        let mut concrete = match Hydra::new(config.clone()) {
+            Ok(h) => h,
+            Err(e) => panic!("hydra: {e}"),
+        };
+        let mut adapted = match HydraTracker::new(config) {
+            Ok(t) => t,
+            Err(e) => panic!("adapter: {e}"),
+        };
+        for i in 0..5_000u64 {
+            let row = RowAddr::new(0, 0, (i % 4) as u8, (i % 97) as u32);
+            let want = concrete.on_activation(row, i, Demand);
+            let got = adapted.activate(row, i, Demand).into_response();
+            assert_eq!(got, want, "diverged at activation {i}");
+            if i % 1_000 == 999 {
+                concrete.reset_window(i);
+                adapted.window_reset(i);
+            }
+        }
+        assert_eq!(adapted.inner().stats(), concrete.stats());
+        assert_eq!(adapted.name(), "hydra");
+        assert!(adapted.sram_bits() > 0);
+    }
+
+    #[test]
+    fn baseline_adapters_expose_names_and_params() {
+        let g = MemGeometry::tiny();
+        let graphene = match GrapheneTracker::for_threshold(g, 0, 64, 10_000) {
+            Ok(t) => t,
+            Err(e) => panic!("graphene: {e}"),
+        };
+        assert_eq!(graphene.name(), "graphene");
+        assert!(
+            graphene.params().contains("entries_per_bank"),
+            "{}",
+            graphene.params()
+        );
+        assert!(graphene.sram_bits() > 0);
+
+        let cra = match CraTracker::for_threshold(g, 0, 64, 4_096) {
+            Ok(t) => t,
+            Err(e) => panic!("cra: {e}"),
+        };
+        assert_eq!(cra.name(), "cra");
+
+        let para = match ParaTracker::for_threshold(500, 1e-9, 7) {
+            Ok(t) => t,
+            Err(e) => panic!("para: {e}"),
+        };
+        assert_eq!(para.name(), "para");
+        assert_eq!(para.sram_bits(), 0);
+
+        let trr = match TrrTracker::provisioned(g, 0, 64, 4_096) {
+            Ok(t) => t,
+            Err(e) => panic!("trr: {e}"),
+        };
+        assert_eq!(trr.name(), "vendor-trr");
+        assert!(trr.sram_bits() > 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The arena's non-interference proof: racing Hydra through the arena's
+//! trait-object plumbing is **call-for-call identical** to the concrete
+//! Hydra path every existing gate uses.
+//!
+//! Two layers are pinned down, both by proptest over arbitrary activation
+//! streams:
+//!
+//! 1. **Simulator layer** — `ActivationSim<ArenaAdapter<HydraTracker>>`
+//!    produces the same report, the same mitigated-row log, and the same
+//!    tracker stats as `ActivationSim<Hydra>` on the same stream.
+//! 2. **Engine layer** — the tracker-generic `TrackerShardedSim` running
+//!    the roster's boxed `hydra` entry matches the concrete `ShardedSim`
+//!    bit-for-bit (report and sorted mitigated union).
+//!
+//! Nothing here is statistical: the adapter moves the tracker's response
+//! vectors without copying, so any divergence is a real behavioral bug.
+
+use hydra_arena::{build_tracker, ArenaAdapter, HydraTracker};
+use hydra_core::{Hydra, HydraConfig};
+use hydra_dram::DramTiming;
+use hydra_engine::{ShardTrackerFactory, ShardedSim, TrackerShardedSim, WorkerPool};
+use hydra_sim::ActivationSim;
+use hydra_types::tracker::ActivationTracker;
+use hydra_types::{MemGeometry, RowAddr};
+use proptest::prelude::*;
+
+/// Hammer-biased streams: most activations collapse onto a hot row set so
+/// thresholds actually trip and the comparison is non-vacuous.
+fn stream(channels: u8) -> impl Strategy<Value = Vec<RowAddr>> {
+    prop::collection::vec(
+        (0..channels, 0u8..4, 0u32..1024).prop_map(|(ch, bank, row)| {
+            let row = if row % 3 == 0 { row % 8 } else { row };
+            RowAddr::new(ch, 0, bank, row)
+        }),
+        0..800,
+    )
+}
+
+fn test_config(geometry: MemGeometry, channel: u8) -> HydraConfig {
+    let mut b = HydraConfig::builder(geometry, channel);
+    b.thresholds(16, 12).gct_entries(64).rcc_entries(32);
+    match b.build() {
+        Ok(c) => c,
+        Err(e) => panic!("config: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Simulator layer: adapter path ≡ concrete path, including the
+    /// mitigated-row log and the tracker's own counters.
+    #[test]
+    fn adapter_sim_is_identical_to_concrete_sim(rows in stream(1)) {
+        let geometry = MemGeometry::tiny();
+        let timing = DramTiming::ddr4_3200().with_scaled_window(1_000);
+        let config = test_config(geometry, 0);
+
+        let concrete = match Hydra::new(config.clone()) {
+            Ok(h) => h,
+            Err(e) => panic!("hydra: {e}"),
+        };
+        let adapted = match HydraTracker::new(config) {
+            Ok(t) => ArenaAdapter::new(t),
+            Err(e) => panic!("adapter: {e}"),
+        };
+        let mut concrete_sim = ActivationSim::new(geometry, concrete).with_timing(timing);
+        let mut adapted_sim = ActivationSim::new(geometry, adapted).with_timing(timing);
+
+        let concrete_report = concrete_sim.run(rows.iter().copied());
+        let adapted_report = adapted_sim.run(rows.iter().copied());
+
+        prop_assert_eq!(adapted_report, concrete_report);
+        prop_assert_eq!(adapted_sim.drain_mitigated(), concrete_sim.drain_mitigated());
+        prop_assert_eq!(
+            adapted_sim.tracker().inner().inner().stats(),
+            concrete_sim.tracker().stats()
+        );
+        prop_assert_eq!(adapted_sim.tracker().name(), concrete_sim.tracker().name());
+    }
+
+    /// Engine layer: the roster's boxed `hydra` on the generic sharded
+    /// path ≡ the concrete `ShardedSim`, for 2-channel streams and any
+    /// worker count.
+    #[test]
+    fn roster_hydra_on_the_generic_engine_matches_the_concrete_engine(
+        rows in stream(2),
+        workers in 1usize..5,
+    ) {
+        let geometry = match MemGeometry::tiny_with_channels(2) {
+            Ok(g) => g,
+            Err(e) => panic!("geometry: {e}"),
+        };
+        let timing = DramTiming::ddr4_3200().with_scaled_window(1_000);
+        let window_acts = timing.max_activations_per_window();
+        const T_RH: u32 = 32;
+
+        let concrete_configs = (0..geometry.channels())
+            .map(|c| match HydraConfig::for_threshold(geometry, c, T_RH) {
+                Ok(c) => c,
+                Err(e) => panic!("config: {e}"),
+            })
+            .collect();
+        let concrete_sim = match ShardedSim::new(geometry, concrete_configs) {
+            Ok(s) => s.with_timing(timing),
+            Err(e) => panic!("concrete sim: {e}"),
+        };
+
+        let factory: ShardTrackerFactory = Box::new(move |channel| {
+            build_tracker("hydra", geometry, channel, T_RH, 42, window_acts)
+                .map(|t| Box::new(ArenaAdapter::new(t)) as Box<dyn ActivationTracker + Send>)
+                .map_err(|e| e.to_string())
+        });
+        let generic_sim = match TrackerShardedSim::new(geometry, factory) {
+            Ok(s) => s.with_timing(timing),
+            Err(e) => panic!("generic sim: {e}"),
+        };
+
+        let concrete = match concrete_sim.run_sequential(&rows) {
+            Ok(m) => m,
+            Err(e) => panic!("concrete run: {e}"),
+        };
+        let generic = match generic_sim.run_parallel(&WorkerPool::new(workers), &rows) {
+            Ok(m) => m,
+            Err(e) => panic!("generic run: {e}"),
+        };
+
+        prop_assert_eq!(generic.report, concrete.report);
+        prop_assert_eq!(generic.mitigated, concrete.mitigated);
+    }
+}
+
+/// A dense deterministic hammer so the proptests above are known to cover
+/// the mitigating case (an all-quiet stream would pass vacuously).
+#[test]
+fn dense_hammer_stays_identical_and_mitigates() {
+    let geometry = MemGeometry::tiny();
+    let timing = DramTiming::ddr4_3200().with_scaled_window(1_000);
+    let config = test_config(geometry, 0);
+    let rows: Vec<RowAddr> = (0..6_000u32)
+        .map(|i| RowAddr::new(0, 0, (i % 3) as u8, 100 + (i % 2) * 2))
+        .collect();
+
+    let concrete = match Hydra::new(config.clone()) {
+        Ok(h) => h,
+        Err(e) => panic!("hydra: {e}"),
+    };
+    let adapted = match HydraTracker::new(config) {
+        Ok(t) => ArenaAdapter::new(t),
+        Err(e) => panic!("adapter: {e}"),
+    };
+    let mut concrete_sim = ActivationSim::new(geometry, concrete).with_timing(timing);
+    let mut adapted_sim = ActivationSim::new(geometry, adapted).with_timing(timing);
+    let concrete_report = concrete_sim.run(rows.iter().copied());
+    let adapted_report = adapted_sim.run(rows.iter().copied());
+    assert_eq!(adapted_report, concrete_report);
+    assert!(
+        concrete_report.mitigations > 0,
+        "dense hammer must mitigate: {concrete_report:?}"
+    );
+    assert_eq!(
+        adapted_sim.drain_mitigated(),
+        concrete_sim.drain_mitigated()
+    );
+}

@@ -128,6 +128,17 @@ impl Graphene {
         self.activations
     }
 
+    /// Worst Misra-Gries spillover across the per-bank tables: the maximum
+    /// amount by which any summary's estimates over-count the truth. The
+    /// arena leaderboard reports this as Graphene's counting slack.
+    pub fn max_spillover(&self) -> u64 {
+        self.tables
+            .iter()
+            .map(MisraGries::spillover)
+            .max()
+            .unwrap_or(0)
+    }
+
     fn table_index(&self, row: RowAddr) -> usize {
         usize::from(row.rank) * usize::from(self.config.geometry.banks_per_rank())
             + usize::from(row.bank)

@@ -16,6 +16,9 @@
 //!   TRRespass narrative (Sec. 7.4).
 //! * [`twice::TwiceTable`] — a TWiCE-style pruned counter table.
 //! * [`cat::CounterTree`] — a CAT-style adaptive tree of counters.
+//! * [`sketch::CountMinSketch`] — the shared count-min sketch primitive
+//!   (CoMeT's first counting tier; also re-exported by `hydra-forensics`
+//!   for attribution).
 //! * [`storage`] — the analytic per-rank storage models behind Tables 1 & 5.
 
 #![forbid(unsafe_code)]
@@ -30,6 +33,7 @@ pub mod misra_gries;
 pub mod ocpr;
 pub mod para;
 pub mod region;
+pub mod sketch;
 pub mod storage;
 pub mod trr;
 pub mod twice;
@@ -43,5 +47,6 @@ pub use misra_gries::MisraGries;
 pub use ocpr::Ocpr;
 pub use para::Para;
 pub use region::CounterRegion;
+pub use sketch::CountMinSketch;
 pub use trr::VendorTrr;
 pub use twice::TwiceTable;

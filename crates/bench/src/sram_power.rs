@@ -45,6 +45,62 @@ impl Default for SramPowerModel {
     }
 }
 
+/// A named tracker's paper-scale SRAM footprint and its power under this
+/// model — the rows of the arena leaderboard's power column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackerSramProfile {
+    /// Arena roster name (`comet`, `abacus`, `mint`, `start`, …).
+    pub tracker: String,
+    /// Row-Hammer threshold the structure is provisioned for.
+    pub t_rh: u32,
+    /// Paper-scale SRAM bytes per rank (DDR4 provisioning).
+    pub sram_bytes: u64,
+    /// Average power at `accesses_per_sec` under this model (mW).
+    pub power_mw: f64,
+}
+
+/// Paper-scale SRAM bytes per rank for the arena's analytic-model
+/// trackers, evaluated at the DDR4 design point
+/// ([`storage::ACT_MAX_PER_BANK`], [`storage::DDR4_BANKS_PER_RANK`]).
+/// `None` for names without an analytic per-rank model here (Hydra's own
+/// storage is tallied by `hydra_core::HydraStorage`; PARA holds no state).
+///
+/// [`storage::ACT_MAX_PER_BANK`]: hydra_baselines::storage::ACT_MAX_PER_BANK
+/// [`storage::DDR4_BANKS_PER_RANK`]: hydra_baselines::storage::DDR4_BANKS_PER_RANK
+pub fn tracker_sram_bytes(tracker: &str, t_rh: u32) -> Option<u64> {
+    use hydra_baselines::storage;
+    let act_max = storage::ACT_MAX_PER_BANK;
+    let banks = storage::DDR4_BANKS_PER_RANK;
+    match tracker {
+        "graphene" => Some(storage::graphene_bytes_per_rank(t_rh, act_max, banks)),
+        "comet" => Some(storage::comet_bytes_per_rank(t_rh, banks)),
+        "abacus" => Some(storage::abacus_bytes_per_rank(t_rh, act_max, banks)),
+        "mint" => Some(storage::mint_bytes_per_rank(t_rh, banks)),
+        "start" => Some(storage::start_bytes_per_rank(t_rh, act_max, banks)),
+        _ => None,
+    }
+}
+
+impl SramPowerModel {
+    /// The power profile of every analytic-model arena tracker at `t_rh`,
+    /// each structure receiving `accesses_per_sec` accesses (trackers sit
+    /// on the ACT command stream, so one rate fits all).
+    pub fn tracker_profiles(&self, t_rh: u32, accesses_per_sec: f64) -> Vec<TrackerSramProfile> {
+        ["graphene", "comet", "abacus", "mint", "start"]
+            .iter()
+            .filter_map(|name| {
+                let sram_bytes = tracker_sram_bytes(name, t_rh)?;
+                Some(TrackerSramProfile {
+                    tracker: (*name).to_string(),
+                    t_rh,
+                    sram_bytes,
+                    power_mw: self.power_mw(sram_bytes, accesses_per_sec),
+                })
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +129,57 @@ mod tests {
     fn power_scales_with_access_rate() {
         let m = SramPowerModel::cacti_22nm();
         assert!(m.power_mw(1024, 1e9) > m.power_mw(1024, 1e6));
+    }
+
+    #[test]
+    fn arena_trackers_cross_check_their_headline_kb_figures() {
+        // The analytic models' headline numbers at T_RH = 1000, per rank:
+        // CoMeT ~74 KB (512×4 sketch + 128-entry RAT per bank), ABACuS
+        // ~13.6 KB (one shared row-ID table), MINT under 100 B (a handful
+        // of per-bank sampling cursors), START ~473 KB (4–8% of an 8 MB
+        // LLC reserved as counter cache).
+        let kb = |name: &str| match tracker_sram_bytes(name, 1_000) {
+            Some(b) => b as f64 / 1024.0,
+            None => panic!("{name} must have an analytic model"),
+        };
+        assert!(
+            (70.0..80.0).contains(&kb("comet")),
+            "comet {} KB",
+            kb("comet")
+        );
+        assert!(
+            (10.0..20.0).contains(&kb("abacus")),
+            "abacus {} KB",
+            kb("abacus")
+        );
+        assert!(kb("mint") < 0.1, "mint {} KB", kb("mint"));
+        let llc_kb = 8.0 * 1024.0;
+        let start_frac = kb("start") / llc_kb;
+        assert!((0.04..0.08).contains(&start_frac), "start {start_frac}");
+        // No analytic per-rank model for the non-baseline names.
+        assert!(tracker_sram_bytes("hydra", 1_000).is_none());
+        assert!(tracker_sram_bytes("para", 1_000).is_none());
+    }
+
+    #[test]
+    fn tracker_profiles_stay_negligible_next_to_dram() {
+        // Sec. 6.8's point transfers to every contender: at a sustained
+        // 10^8 ACT/s, even START's half-megabyte slab burns ~0.1 W —
+        // noise against multi-watt DRAM ranks.
+        let m = SramPowerModel::cacti_22nm();
+        let profiles = m.tracker_profiles(1_000, 1.0e8);
+        assert_eq!(profiles.len(), 5);
+        for p in &profiles {
+            assert!(p.power_mw > 0.0, "{}: {} mW", p.tracker, p.power_mw);
+            assert!(p.power_mw < 200.0, "{}: {} mW", p.tracker, p.power_mw);
+        }
+        // Ordering mirrors the SRAM axis: MINT cheapest, START dearest.
+        let mw = |name: &str| match profiles.iter().find(|p| p.tracker == name) {
+            Some(p) => p.power_mw,
+            None => panic!("{name} missing from profiles"),
+        };
+        assert!(mw("mint") < mw("abacus"));
+        assert!(mw("abacus") < mw("comet"));
+        assert!(mw("comet") < mw("start"));
     }
 }

@@ -41,7 +41,10 @@ pub mod shard;
 pub mod sweep;
 
 pub use pool::{CellOutcome, WorkerPool};
-pub use shard::{merge_shards, partition_by_channel, MergedRun, ShardResult, ShardedSim};
+pub use shard::{
+    merge_shards, merge_tracker_shards, partition_by_channel, MergedRun, ShardResult,
+    ShardTrackerFactory, ShardedSim, TrackerMergedRun, TrackerShardResult, TrackerShardedSim,
+};
 pub use sweep::{
     run_sweep, SweepCell, SweepGrid, SweepOutcome, SweepRow, TrendCheck, SWEEP_SCHEMA_VERSION,
 };

@@ -16,7 +16,7 @@
 //! work over plain integers. The engine is cleared at every window reset,
 //! matching the tracker's own per-window counting semantics.
 
-use crate::sketch::CountMinSketch;
+use crate::sketch::{CountMinSketch, DEFAULT_DEPTH, DEFAULT_WIDTH};
 use hydra_baselines::MisraGries;
 use hydra_types::RowAddr;
 
@@ -52,7 +52,7 @@ pub struct AttributionEngine {
 
 impl Default for AttributionEngine {
     fn default() -> Self {
-        Self::new(64, 1024, 4)
+        Self::new(64, DEFAULT_WIDTH, DEFAULT_DEPTH)
     }
 }
 

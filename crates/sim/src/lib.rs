@@ -20,6 +20,14 @@
 //! with exponential backoff, and replay-artifact emission on terminal
 //! failure.
 //!
+//! The [`oracle`] module is the **shadow-oracle sanitizer**
+//! ([`oracle::ShadowOracle`]): a ground-truth referee that wraps any
+//! tracker and records a violation whenever a row crosses the Row-Hammer
+//! threshold unmitigated or a never-activated row is mitigated. It lives
+//! here — at the simulator layer — so both the `hydra-analysis` security
+//! referee (which re-exports it) and the `hydra-arena` cross-tracker
+//! leaderboard sanitize against the same implementation.
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +54,7 @@ pub mod fastsim;
 pub mod histogram;
 pub mod llc;
 pub mod metrics;
+pub mod oracle;
 pub mod rowswap;
 pub mod stats;
 pub mod system;
@@ -61,6 +70,7 @@ pub use llc::SharedLlc;
 pub use metrics::{
     run_windowed, run_windowed_profiled, LatencySummary, StatsSource, WindowRecord, WindowSeries,
 };
+pub use oracle::{OracleReport, ShadowOracle, Violation, ViolationKind};
 pub use rowswap::RowIndirection;
 pub use stats::{geometric_mean, SimResult};
 pub use system::SystemSim;

@@ -16,13 +16,19 @@
 //!
 //! Violations are *recorded*, never panicked on, so property tests can
 //! assert on their presence (for deliberately broken trackers like
-//! [`crate::fixtures::LeakyTracker`]) or absence (for Hydra) and report all
-//! failures at once.
+//! `hydra-analysis`'s `LeakyTracker` or `hydra-arena`'s sabotage fixtures)
+//! or absence (for Hydra and the arena contenders) and report all failures
+//! at once.
+//!
+//! The sanitizer lives in `hydra-sim` — the same layer as the activation
+//! replayer — so every consumer above it (the `hydra-analysis` referee,
+//! which re-exports this module, and the `hydra-arena` leaderboard, which
+//! sanitizes every cell) shares one ground truth.
 //!
 //! # Example
 //!
 //! ```
-//! use hydra_analysis::oracle::ShadowOracle;
+//! use hydra_sim::oracle::ShadowOracle;
 //! use hydra_types::{ActivationKind, ActivationTracker, NullTracker, RowAddr};
 //!
 //! // The null tracker never mitigates: the oracle catches it immediately.

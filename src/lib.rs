@@ -5,6 +5,9 @@
 //!
 //! * [`types`] — shared addressing/geometry/tracker vocabulary
 //! * [`analysis`] — static config auditor, shadow-oracle sanitizer, repo lint
+//! * [`arena`] — cross-tracker arena: CoMeT/ABACuS/MINT/START and the
+//!   existing baselines behind one `Tracker` trait, raced on a Pareto
+//!   leaderboard (`hydra sweep --arena`)
 //! * [`core`] — the Hydra hybrid tracker (the paper's contribution)
 //! * [`baselines`] — Graphene, CRA, PARA, OCPR, D-CBF, storage models
 //! * [`dram`] — DDR4 device timing, refresh and power models
@@ -21,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub use hydra_analysis as analysis;
+pub use hydra_arena as arena;
 pub use hydra_baselines as baselines;
 pub use hydra_core as core;
 pub use hydra_dram as dram;
